@@ -1,0 +1,96 @@
+// Ablation D: coupling constraints. The paper motivates CNOT minimization
+// by coupling constraints and assumes a symmetric coupling for its
+// canonicalization; this bench quantifies the routed-CNOT overhead of
+// preparing the same states on restricted topologies, with the search
+// optimizing against each topology's routed cost model.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "arch/routing.hpp"
+#include "bench_common.hpp"
+#include "circuit/lowering.hpp"
+#include "core/astar.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace qsp;
+  bench::print_banner(
+      "Ablation D: coupling topologies",
+      "Optimal routed CNOT cost of 4-qubit preparations per topology\n"
+      "(search optimizes against the routed cost model; every routed\n"
+      "circuit is checked for coupling conformance and re-verified).");
+
+  struct Topology {
+    std::string name;
+    std::shared_ptr<CouplingGraph> graph;
+  };
+  std::vector<Topology> topologies;
+  topologies.push_back({"full", std::make_shared<CouplingGraph>(
+                                    CouplingGraph::full(4))});
+  topologies.push_back({"ring", std::make_shared<CouplingGraph>(
+                                    CouplingGraph::ring(4))});
+  topologies.push_back({"line", std::make_shared<CouplingGraph>(
+                                    CouplingGraph::line(4))});
+  topologies.push_back({"star", std::make_shared<CouplingGraph>(
+                                    CouplingGraph::star(4))});
+
+  struct Case {
+    std::string name;
+    QuantumState state;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"GHZ_4", make_ghz(4)});
+  cases.push_back({"W_4", make_w(4)});
+  cases.push_back({"Dicke(4,2)", make_dicke(4, 2)});
+  Rng rng(1234);
+  const int extra = bench::full_mode() ? 6 : 3;
+  for (int i = 0; i < extra; ++i) {
+    cases.push_back({"rand4m5#" + std::to_string(i),
+                     make_random_uniform(4, 5, rng)});
+  }
+
+  TextTable table({"instance", "full", "ring", "line", "star"});
+  std::vector<double> totals(topologies.size(), 0.0);
+  for (const auto& c : cases) {
+    std::vector<std::string> row{c.name};
+    for (std::size_t t = 0; t < topologies.size(); ++t) {
+      SearchOptions options;
+      options.coupling = topologies[t].graph;
+      options.time_budget_seconds = bench::full_mode() ? 300.0 : 60.0;
+      options.node_budget = 20'000'000;
+      const AStarSynthesizer synth(options);
+      const SynthesisResult res = synth.synthesize(c.state);
+      if (!res.found) {
+        row.push_back("budget");
+        continue;
+      }
+      const Circuit routed =
+          route_circuit(res.circuit, *topologies[t].graph);
+      if (!respects_coupling(routed, *topologies[t].graph) ||
+          !verify_preparation(routed, c.state).ok ||
+          lowered_cnot_count(routed) != res.cnot_cost) {
+        std::cerr << "ROUTING MISMATCH on " << c.name << "\n";
+        return 1;
+      }
+      totals[t] += static_cast<double>(res.cnot_cost);
+      row.push_back(TextTable::fmt(res.cnot_cost));
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  {
+    std::vector<std::string> row{"total"};
+    for (const double t : totals) row.push_back(TextTable::fmt(t, 0));
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+  std::cout << "\nSymmetric states (GHZ, W) route for free: their optimal\n"
+               "circuits are neighbour chains on every topology. Random\n"
+               "sparse states pay routed-CNOT overhead, most on the line\n"
+               "(largest diameter among these graphs).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation C: the workflow's exact-synthesis activation thresholds
+// (Section VI-A fixes n_eff <= 4 and m <= 16). Sweeps the thresholds on
+// sparse instances and reports CNOTs vs runtime, exposing the tradeoff
+// the paper mentions ("the room for improvement does not scale").
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuit/lowering.hpp"
+#include "flow/solver.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace qsp;
+  bench::print_banner(
+      "Ablation C: exact-tail thresholds in the workflow",
+      "Sparse random states (m = n) solved with different (n_eff, m)\n"
+      "activation thresholds; (0,0) disables the exact tail entirely.");
+
+  const int samples = bench::full_mode() ? 20 : 6;
+  const std::vector<std::pair<int, int>> grid = {
+      {0, 0}, {2, 4}, {3, 8}, {4, 16}, {5, 24}, {6, 32}};
+
+  for (const bool dense : {false, true}) {
+    const int n = dense ? (bench::full_mode() ? 10 : 8)
+                        : (bench::full_mode() ? 14 : 10);
+    const int m = dense ? (1 << (n - 1)) : n;
+    std::cout << (dense ? "dense" : "sparse") << " states, n = " << n
+              << ", m = " << m << ":\n";
+    TextTable table({"threshold (n_eff, m)", "avg CNOTs", "avg time [s]",
+                     "exact tails used"});
+    for (const auto& [tq, tm] : grid) {
+      double cnots = 0.0, seconds = 0.0;
+      int tails = 0;
+      for (int s = 0; s < samples; ++s) {
+        Rng rng(0xAB0 + static_cast<std::uint64_t>(s));
+        const QuantumState target = make_random_uniform(n, m, rng);
+        WorkflowOptions options;
+        options.exact_max_qubits = tq;
+        options.exact_max_cardinality = tm;
+        const Solver solver(options);
+        const Timer timer;
+        const WorkflowResult res = solver.prepare(target);
+        seconds += timer.seconds();
+        if (!res.found) continue;
+        LoweringOptions elide;
+        elide.elide_zero_rotations = true;
+        cnots += static_cast<double>(
+            count_cnots_after_lowering(res.circuit, elide));
+        if (res.used_exact_tail) ++tails;
+        const std::string v = bench::verify_cell(res.circuit, target, 14);
+        bench::check_verified(v, "threshold ablation");
+      }
+      table.add_row({"(" + std::to_string(tq) + ", " + std::to_string(tm) +
+                         ")",
+                     TextTable::fmt(cnots / samples, 1),
+                     TextTable::fmt(seconds / samples, 3),
+                     TextTable::fmt(tails) + "/" + TextTable::fmt(samples)});
+    }
+    std::cout << table.render() << "\n";
+  }
+  std::cout << "The paper fixes (4, 16). On the dense path the exact tail\n"
+               "replaces the cheap low multiplexor stages; on the sparse\n"
+               "path random supports stay spread across many qubits, the\n"
+               "tail rarely binds below (5, 24), and the gains come from\n"
+               "the cost-aware pair selection in the reduction itself.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "sim/verifier.hpp"
+
+namespace qsp::bench {
+
+bool full_mode() {
+  const char* env = std::getenv("QSP_BENCH_FULL");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+void print_banner(const std::string& title, const std::string& description) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << description << "\n";
+  std::cout << (full_mode()
+                    ? "mode: FULL (paper-scale parameters)\n"
+                    : "mode: default (set QSP_BENCH_FULL=1 for the "
+                      "paper-scale sweep)\n")
+            << "\n";
+}
+
+std::string verify_cell(const Circuit& circuit, const QuantumState& target,
+                        int max_sim_qubits, std::size_t max_gates) {
+  if (circuit.num_qubits() > max_sim_qubits ||
+      circuit.size() > max_gates) {
+    return "skipped";
+  }
+  return verify_preparation(circuit, target).ok ? "yes" : "NO";
+}
+
+void check_verified(const std::string& cell, const std::string& context) {
+  if (cell == "NO") {
+    std::cerr << "VERIFICATION FAILED: " << context << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace qsp::bench

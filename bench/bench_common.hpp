@@ -1,0 +1,30 @@
+#pragma once
+// Shared helpers for the table/figure reproduction binaries. Every binary
+// runs a laptop-scale sweep by default and the paper-scale parameters when
+// the environment variable QSP_BENCH_FULL=1 is set.
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp::bench {
+
+/// True when QSP_BENCH_FULL=1 (paper-scale sweeps).
+bool full_mode();
+
+/// Standard banner: what is reproduced and how to widen the sweep.
+void print_banner(const std::string& title, const std::string& description);
+
+/// Verify the circuit when simulation is feasible: returns "yes", "NO"
+/// (verification ran and failed) or "skipped" (register too wide or the
+/// circuit too large to simulate in reasonable time).
+std::string verify_cell(const Circuit& circuit, const QuantumState& target,
+                        int max_sim_qubits = 16,
+                        std::size_t max_gates = 200000);
+
+/// Abort the bench with a message if verification ran and failed.
+void check_verified(const std::string& cell, const std::string& context);
+
+}  // namespace qsp::bench

@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks for the exact-synthesis primitives:
+// canonical keys, move enumeration, arc application, heuristics, the A*
+// kernel on the paper's headline instance, and statevector simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/astar.hpp"
+#include "core/canonical.hpp"
+#include "core/heuristic.hpp"
+#include "core/moves.hpp"
+#include "sim/statevector.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qsp;
+
+SlotState benchmark_state(int n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  return *SlotState::from_state(make_random_uniform(n, m, rng));
+}
+
+void BM_CanonicalKeyU2(benchmark::State& state) {
+  const SlotState s = benchmark_state(static_cast<int>(state.range(0)), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_key(s, CanonicalLevel::kU2));
+  }
+}
+BENCHMARK(BM_CanonicalKeyU2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CanonicalKeyPU2Exact(benchmark::State& state) {
+  const SlotState s = benchmark_state(static_cast<int>(state.range(0)), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_key(s, CanonicalLevel::kPU2Exact));
+  }
+}
+BENCHMARK(BM_CanonicalKeyPU2Exact)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_CanonicalKeyPU2Greedy(benchmark::State& state) {
+  const SlotState s = benchmark_state(static_cast<int>(state.range(0)), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_key(s, CanonicalLevel::kPU2Greedy));
+  }
+}
+BENCHMARK(BM_CanonicalKeyPU2Greedy)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_EnumerateMoves(benchmark::State& state) {
+  const SlotState s =
+      benchmark_state(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)), 2);
+  MoveGenOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_moves(s, options));
+  }
+}
+BENCHMARK(BM_EnumerateMoves)->Args({4, 8})->Args({4, 16})->Args({6, 12});
+
+void BM_ApplyMove(benchmark::State& state) {
+  const SlotState s = benchmark_state(4, 8, 3);
+  const auto moves = enumerate_moves(s, MoveGenOptions{});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apply_move(s, moves[i % moves.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ApplyMove);
+
+void BM_HeuristicComponent(benchmark::State& state) {
+  const SlotState s = benchmark_state(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heuristic_lower_bound(s, HeuristicMode::kComponent));
+  }
+}
+BENCHMARK(BM_HeuristicComponent)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_AStarDicke42(benchmark::State& state) {
+  const QuantumState target = make_dicke(4, 2);
+  const AStarSynthesizer synth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(target));
+  }
+}
+BENCHMARK(BM_AStarDicke42)->Unit(benchmark::kMillisecond);
+
+void BM_AStarRandom45(benchmark::State& state) {
+  Rng rng(9);
+  const QuantumState target = make_random_uniform(4, 5, rng);
+  const AStarSynthesizer synth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(target));
+  }
+}
+BENCHMARK(BM_AStarRandom45)->Unit(benchmark::kMillisecond);
+
+void BM_StatevectorCnot(benchmark::State& state) {
+  Statevector sv(static_cast<int>(state.range(0)));
+  sv.apply(Gate::ry(0, 0.3));
+  const Gate cnot = Gate::cnot(0, 1);
+  for (auto _ : state) {
+    sv.apply(cnot);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_StatevectorCnot)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_CompressFree(benchmark::State& state) {
+  // Product-heavy state: every qubit separable.
+  std::vector<BasisIndex> idx;
+  for (BasisIndex x = 0; x < 16; ++x) idx.push_back(x);
+  const SlotState s = SlotState::from_indices(4, idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress_free(s));
+  }
+}
+BENCHMARK(BM_CompressFree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Table IV reproduction: CNOT counts for Dicke-state preparation |D^k_n>,
+// comparing the manual design (Mukherjee et al. formula + an executable
+// Bartschi-Eidenbenz circuit), the three published baselines, and our
+// exact synthesis. Also prints the Fig. 6 artifact: the 6-CNOT circuit
+// for |D^2_4>.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuit/lowering.hpp"
+#include "core/exact_synthesizer.hpp"
+#include "flow/methods.hpp"
+#include "prep/dicke.hpp"
+#include "state/state_factory.hpp"
+#include "util/combinatorics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qsp;
+
+/// "Ours" for Table IV: the exact kernel with a generous budget for n<=4;
+/// beam search plus the workflow for larger instances (the paper's Dicke
+/// entries beyond the exact reach come from a larger-budget run; ours are
+/// the best verified circuit we find, marked * when not proven optimal).
+std::pair<std::int64_t, bool> ours_dicke(const QuantumState& target,
+                                         double budget) {
+  ExactSynthesisOptions options;
+  options.astar.node_budget = 0;
+  // A* completes quickly on n <= 4; beyond that it cannot finish within
+  // any sane budget, so hand over to the beam early instead of burning
+  // the whole budget on a doomed exact attempt.
+  options.astar.time_budget_seconds =
+      target.num_qubits() <= 4 ? budget : std::min(budget * 0.1, 10.0);
+  options.beam.beam_width = bench::full_mode() ? 600 : 200;
+  options.beam.canonical = CanonicalLevel::kPU2Greedy;
+  options.beam.max_controls = -1;
+  options.beam.time_budget_seconds = budget;
+  const ExactSynthesizer synth(options);
+  SynthesisResult res = synth.synthesize(target);
+
+  const MethodRun flow = run_method(Method::kOurs, target, budget);
+  std::int64_t best = res.found ? res.cnot_cost : -1;
+  bool optimal = res.found && res.optimal;
+  if (flow.ok && (best < 0 || flow.cnots < best)) {
+    best = flow.cnots;
+    optimal = false;
+  }
+  return {best, optimal};
+}
+
+}  // namespace
+
+int main() {
+  using namespace qsp;
+  bench::print_banner(
+      "Table IV: Dicke state preparation",
+      "CNOT counts per method; improvement computed against the manual\n"
+      "design formula 5nk - 5k^2 - 2n (Mukherjee et al.). Entries marked\n"
+      "* are best-found (beam/workflow) rather than certified optimal.");
+
+  const std::vector<std::pair<int, int>> cases = {
+      {3, 1}, {4, 1}, {4, 2}, {5, 1}, {5, 2}, {6, 1}, {6, 2}, {6, 3}};
+  const double budget_small = bench::full_mode() ? 120.0 : 30.0;
+  const double budget_large = bench::full_mode() ? 600.0 : 150.0;
+
+  TextTable table({"n", "k", "Manual[7]", "BE circuit", "m-flow", "n-flow",
+                   "hybrid", "ours"});
+  std::vector<double> geo_manual, geo_mflow, geo_nflow, geo_hybrid, geo_ours;
+  for (const auto& [n, k] : cases) {
+    const QuantumState target = make_dicke(n, k);
+    const std::int64_t manual = mukherjee_dicke_cnot_count(n, k);
+    const Circuit be = dicke_manual_circuit(n, k);
+    const std::string be_ok = bench::verify_cell(be, target);
+    bench::check_verified(be_ok, "BE Dicke circuit");
+    const std::int64_t be_cost = count_cnots_after_lowering(be);
+
+    const MethodRun mflow = run_method(Method::kMFlow, target, budget_small);
+    const MethodRun nflow = run_method(Method::kNFlow, target, budget_small);
+    const MethodRun hybrid =
+        run_method(Method::kHybrid, target, budget_small);
+    for (const auto* run : {&mflow, &nflow, &hybrid}) {
+      if (run->ok) {
+        const std::string cell = bench::verify_cell(run->circuit, target);
+        bench::check_verified(cell, "dicke baseline");
+      }
+    }
+    const auto [ours, optimal] =
+        ours_dicke(target, n <= 4 ? budget_small : budget_large);
+
+    table.add_row({TextTable::fmt(n), TextTable::fmt(k),
+                   TextTable::fmt(manual), TextTable::fmt(be_cost),
+                   mflow.ok ? TextTable::fmt(mflow.cnots) : "TLE",
+                   nflow.ok ? TextTable::fmt(nflow.cnots) : "TLE",
+                   hybrid.ok ? TextTable::fmt(hybrid.cnots) : "TLE",
+                   ours >= 0 ? TextTable::fmt(ours) + (optimal ? "" : "*")
+                             : "-"});
+    geo_manual.push_back(static_cast<double>(manual));
+    if (mflow.ok) geo_mflow.push_back(static_cast<double>(mflow.cnots));
+    if (nflow.ok) geo_nflow.push_back(static_cast<double>(nflow.cnots));
+    if (hybrid.ok) geo_hybrid.push_back(static_cast<double>(hybrid.cnots));
+    if (ours >= 0) geo_ours.push_back(static_cast<double>(ours));
+  }
+  table.add_separator();
+  table.add_row({"geo", "mean", TextTable::fmt(geometric_mean(geo_manual), 1),
+                 "-", TextTable::fmt(geometric_mean(geo_mflow), 1),
+                 TextTable::fmt(geometric_mean(geo_nflow), 1),
+                 TextTable::fmt(geometric_mean(geo_hybrid), 1),
+                 TextTable::fmt(geometric_mean(geo_ours), 1)});
+  const double manual_geo = geometric_mean(geo_manual);
+  auto impr = [&](const std::vector<double>& v) {
+    return TextTable::fmt_percent(1.0 - geometric_mean(v) / manual_geo, 0);
+  };
+  table.add_row({"Impr%", "", "-", "-", impr(geo_mflow), impr(geo_nflow),
+                 impr(geo_hybrid), impr(geo_ours)});
+  std::cout << table.render();
+  std::cout << "\nPaper Table IV (ours): 4, 7, 6, 10, 16, 13, 22, 25; "
+               "geomean 10.9 (17% better than manual).\n";
+
+  // Fig. 6: the synthesized |D^2_4> circuit.
+  ExactSynthesisOptions exact_options;
+  exact_options.astar.time_budget_seconds = budget_small;
+  const ExactSynthesizer exact(exact_options);
+  const SynthesisResult fig6 = exact.synthesize(make_dicke(4, 2));
+  if (fig6.found) {
+    std::cout << "\nFig. 6: |D^2_4> with " << fig6.cnot_cost
+              << " CNOTs (paper: 6, manual designs: 12):\n"
+              << fig6.circuit.draw();
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "table5_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp::bench {
+
+SweepRow run_cell(int n, int m, int samples, double time_limit,
+                  std::uint64_t seed_base, bool verify,
+                  const std::vector<Method>& skip) {
+  SweepRow row;
+  row.n = n;
+  row.m = m;
+  bool active[4];
+  for (int i = 0; i < 4; ++i) {
+    active[i] = std::find(skip.begin(), skip.end(), kMethodOrder[i]) ==
+                skip.end();
+    row.per_method[i].tle = !active[i];
+  }
+  for (int s = 0; s < samples; ++s) {
+    Rng rng(seed_base + static_cast<std::uint64_t>(s));
+    const QuantumState target = make_random_uniform(n, m, rng);
+    for (int i = 0; i < 4; ++i) {
+      if (!active[i]) continue;
+      const MethodRun run =
+          run_method(kMethodOrder[i], target, time_limit);
+      if (!run.ok) {
+        row.per_method[i].tle = true;
+        active[i] = false;
+        continue;
+      }
+      auto& cell = row.per_method[i];
+      cell.mean_cnots += static_cast<double>(run.cnots);
+      cell.mean_seconds += run.seconds;
+      ++cell.samples;
+      if (verify) {
+        const std::string v = verify_cell(run.circuit, target);
+        check_verified(v, method_name(kMethodOrder[i]) + " n=" +
+                              std::to_string(n) + " m=" + std::to_string(m));
+      }
+    }
+  }
+  for (auto& cell : row.per_method) {
+    if (cell.samples > 0) {
+      cell.mean_cnots /= cell.samples;
+      cell.mean_seconds /= cell.samples;
+    }
+  }
+  return row;
+}
+
+}  // namespace qsp::bench

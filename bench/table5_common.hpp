@@ -1,0 +1,37 @@
+#pragma once
+// Shared sweep machinery for the Table V / Fig. 7 reproductions: random
+// uniform states per (n, m) cell, averaged CNOT counts and runtimes per
+// method, with per-instance time limits and TLE reporting like the paper.
+
+#include <optional>
+#include <vector>
+
+#include "flow/methods.hpp"
+
+namespace qsp::bench {
+
+struct CellResult {
+  bool tle = false;            ///< any sample hit the time limit
+  double mean_cnots = 0.0;     ///< over completed samples
+  double mean_seconds = 0.0;
+  int samples = 0;
+};
+
+struct SweepRow {
+  int n = 0;
+  int m = 0;
+  CellResult per_method[4];  ///< indexed like kMethodOrder
+};
+
+inline constexpr Method kMethodOrder[4] = {Method::kMFlow, Method::kNFlow,
+                                           Method::kHybrid, Method::kOurs};
+
+/// Run `samples` random uniform states of (n, m) through every method.
+/// A method that exceeds `time_limit` on a sample is marked TLE for the
+/// whole cell (mirroring the paper's one-hour limit) and skipped for the
+/// remaining samples. Methods listed in `skip` are marked TLE outright.
+SweepRow run_cell(int n, int m, int samples, double time_limit,
+                  std::uint64_t seed_base, bool verify,
+                  const std::vector<Method>& skip = {});
+
+}  // namespace qsp::bench

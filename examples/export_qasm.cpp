@@ -1,0 +1,40 @@
+// Synthesize a state and export the lowered circuit as OpenQASM 2.0 for
+// consumption by external toolchains (qiskit, tket, ...).
+//
+//   ./export_qasm [n] [m] [seed] > circuit.qasm
+
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/qasm.hpp"
+#include "flow/solver.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsp;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int m = argc > 2 ? std::atoi(argv[2]) : 5;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+  if (n < 2 || n > 16 || m < 1 || m > (1 << n)) {
+    std::cerr << "usage: export_qasm [n<=16] [m<=2^n] [seed]\n";
+    return 1;
+  }
+
+  Rng rng(seed);
+  const QuantumState target = make_random_uniform(n, m, rng);
+  const Solver solver;
+  const WorkflowResult res = solver.prepare(target);
+  if (!res.found) {
+    std::cerr << "synthesis failed\n";
+    return 1;
+  }
+  verify_preparation_or_throw(res.circuit, target);
+
+  std::cerr << "// target: " << target.to_string() << "\n";
+  LoweringOptions lowering;
+  lowering.elide_zero_rotations = true;
+  std::cout << to_qasm(res.circuit, lowering);
+  return 0;
+}

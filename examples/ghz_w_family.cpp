@@ -1,0 +1,49 @@
+// Exact synthesis on the classic entangled families: GHZ and W states.
+// Demonstrates the optimality certificates of the A* kernel (GHZ_n takes
+// exactly n-1 CNOTs) and the anytime beam fallback for larger W states.
+//
+//   ./ghz_w_family [max_n]          (default 6)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/exact_synthesizer.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsp;
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 6;
+  if (max_n < 2 || max_n > 8) {
+    std::cerr << "usage: ghz_w_family [max_n in 2..8]\n";
+    return 1;
+  }
+
+  ExactSynthesisOptions options;
+  options.astar.time_budget_seconds = 20.0;
+  const ExactSynthesizer synth(options);
+
+  TextTable table({"state", "n", "CNOTs", "optimal?", "classes", "verified"});
+  for (int n = 2; n <= max_n; ++n) {
+    for (const bool is_ghz : {true, false}) {
+      const QuantumState target = is_ghz ? make_ghz(n) : make_w(n);
+      const SynthesisResult res = synth.synthesize(target);
+      if (!res.found) {
+        table.add_row({is_ghz ? "GHZ" : "W", TextTable::fmt(n), "-", "-",
+                       "-", "-"});
+        continue;
+      }
+      const auto v = verify_preparation(res.circuit, target);
+      table.add_row({is_ghz ? "GHZ" : "W", TextTable::fmt(n),
+                     TextTable::fmt(res.cnot_cost),
+                     res.optimal ? "yes" : "beam",
+                     TextTable::fmt(res.stats.classes_stored),
+                     v.ok ? "yes" : "NO"});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nGHZ_n requires exactly n-1 CNOTs; the component-bound "
+               "heuristic makes these searches immediate.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Prepare a random uniform state with the Fig.-5 workflow and compare all
+// methods, mirroring one cell of Table V.
+//
+//   ./random_state [n] [m] [seed]   (default n=10, m=10, seed=1)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "flow/methods.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsp;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int m = argc > 2 ? std::atoi(argv[2]) : 10;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  if (n < 2 || n > 20 || m < 1 || (n < 20 && m > (1 << n))) {
+    std::cerr << "usage: random_state [n<=20] [m<=2^n] [seed]\n";
+    return 1;
+  }
+
+  Rng rng(seed);
+  const QuantumState target = make_random_uniform(n, m, rng);
+  const bool sparse =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m) <
+      (std::uint64_t{1} << n);
+  std::cout << "Random uniform state: n=" << n << " m=" << m << " seed="
+            << seed << "  (" << (sparse ? "sparse" : "dense")
+            << " per the paper's n*m < 2^n test)\n\n";
+
+  TextTable table({"method", "CNOTs", "time [s]", "verified"});
+  for (const Method method :
+       {Method::kMFlow, Method::kNFlow, Method::kHybrid, Method::kOurs}) {
+    const MethodRun run = run_method(method, target, /*time_budget=*/120.0);
+    if (!run.ok) {
+      table.add_row({method_name(method), "TLE",
+                     TextTable::fmt(run.seconds, 2), "-"});
+      continue;
+    }
+    std::string verified = "skipped";
+    if (n <= 16) {
+      verified = verify_preparation(run.circuit, target).ok ? "yes" : "NO";
+    }
+    table.add_row({method_name(method), TextTable::fmt(run.cnots),
+                   TextTable::fmt(run.seconds, 3), verified});
+  }
+  std::cout << table.render();
+  return 0;
+}

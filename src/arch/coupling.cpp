@@ -1,0 +1,187 @@
+#include "arch/coupling.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/cost_model.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace qsp {
+
+CouplingGraph::CouplingGraph(int num_qubits,
+                             std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits),
+      adjacency_(static_cast<std::size_t>(num_qubits)) {
+  if (num_qubits < 1 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("CouplingGraph: qubit count out of range");
+  }
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || b < 0 || a >= num_qubits || b >= num_qubits || a == b) {
+      throw std::invalid_argument("CouplingGraph: bad edge");
+    }
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  compute_distances();
+}
+
+CouplingGraph CouplingGraph::full(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < num_qubits; ++a) {
+    for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
+  }
+  return CouplingGraph(num_qubits, std::move(edges));
+}
+
+CouplingGraph CouplingGraph::line(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < num_qubits; ++q) edges.emplace_back(q, q + 1);
+  return CouplingGraph(num_qubits, std::move(edges));
+}
+
+CouplingGraph CouplingGraph::ring(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < num_qubits; ++q) edges.emplace_back(q, q + 1);
+  if (num_qubits > 2) edges.emplace_back(num_qubits - 1, 0);
+  return CouplingGraph(num_qubits, std::move(edges));
+}
+
+CouplingGraph CouplingGraph::star(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 1; q < num_qubits; ++q) edges.emplace_back(0, q);
+  return CouplingGraph(num_qubits, std::move(edges));
+}
+
+CouplingGraph CouplingGraph::grid(int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("CouplingGraph::grid: bad shape");
+  }
+  std::vector<std::pair<int, int>> edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return CouplingGraph(rows * cols, std::move(edges));
+}
+
+void CouplingGraph::compute_distances() {
+  const auto n = static_cast<std::size_t>(num_qubits_);
+  distance_.assign(n, std::vector<int>(n, -1));
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& dist = distance_[s];
+    dist[s] = 0;
+    std::deque<int> queue{static_cast<int>(s)};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool CouplingGraph::has_edge(int a, int b) const {
+  QSP_ASSERT(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_);
+  const auto& neighbors = adjacency_[static_cast<std::size_t>(a)];
+  return std::binary_search(neighbors.begin(), neighbors.end(), b);
+}
+
+int CouplingGraph::distance(int a, int b) const {
+  QSP_ASSERT(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_);
+  const int d = distance_[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(b)];
+  if (d < 0) {
+    throw std::invalid_argument("CouplingGraph: qubits not connected");
+  }
+  return d;
+}
+
+bool CouplingGraph::is_complete() const {
+  for (int a = 0; a < num_qubits_; ++a) {
+    if (static_cast<int>(adjacency_[static_cast<std::size_t>(a)].size()) !=
+        num_qubits_ - 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CouplingGraph::is_connected() const {
+  const auto& d0 = distance_[0];
+  return std::all_of(d0.begin(), d0.end(), [](int d) { return d >= 0; });
+}
+
+std::int64_t CouplingGraph::routed_cnot_cost(int control, int target) const {
+  const int d = distance(control, target);
+  QSP_ASSERT(d >= 1);
+  return d == 1 ? 1 : 4 * (static_cast<std::int64_t>(d) - 1);
+}
+
+std::int64_t CouplingGraph::routed_rotation_cost(
+    const std::vector<ControlLiteral>& controls, int target) const {
+  const int c = static_cast<int>(controls.size());
+  if (c == 0) return 0;
+  // Gray-code lowering: control bit b fires 2^(c-1-b) times; the top bit
+  // pays one extra closing CNOT. Sort controls near-to-far so the most
+  // frequently used bit is the cheapest.
+  std::vector<std::int64_t> per_use;
+  per_use.reserve(static_cast<std::size_t>(c));
+  for (const ControlLiteral& lit : controls) {
+    per_use.push_back(routed_cnot_cost(lit.qubit, target));
+  }
+  std::sort(per_use.begin(), per_use.end());
+  std::int64_t total = 0;
+  for (int b = 0; b < c; ++b) {
+    const std::int64_t uses =
+        (std::int64_t{1} << (c - 1 - b)) + (b == c - 1 ? 1 : 0);
+    total += uses * per_use[static_cast<std::size_t>(b)];
+  }
+  return total;
+}
+
+std::vector<int> CouplingGraph::shortest_path(int from, int to) const {
+  const int d = distance(from, to);
+  std::vector<int> path{from};
+  int cur = from;
+  for (int step = d; step > 0; --step) {
+    for (const int v : adjacency_[static_cast<std::size_t>(cur)]) {
+      if (distance(v, to) == step - 1) {
+        path.push_back(v);
+        cur = v;
+        break;
+      }
+    }
+  }
+  QSP_ASSERT(cur == to);
+  return path;
+}
+
+std::string CouplingGraph::to_string() const {
+  std::ostringstream os;
+  os << "coupling(" << num_qubits_ << " qubits:";
+  for (int a = 0; a < num_qubits_; ++a) {
+    for (const int b : adjacency_[static_cast<std::size_t>(a)]) {
+      if (b > a) os << ' ' << a << '-' << b;
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace qsp

@@ -1,0 +1,58 @@
+#pragma once
+// Coupling constraints. The paper's canonicalization assumes "a symmetric
+// coupling graph" (Section V-B) and motivates CNOT minimization by the
+// coupling constraints CNOTs introduce (Section I). This module makes the
+// dependence explicit: a coupling graph with routed CNOT costs, so the
+// exact synthesis can optimize for a real topology instead of all-to-all.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qsp {
+
+class CouplingGraph {
+ public:
+  /// Build from an explicit undirected edge list (CNOTs run both ways).
+  CouplingGraph(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+  static CouplingGraph full(int num_qubits);
+  static CouplingGraph line(int num_qubits);
+  static CouplingGraph ring(int num_qubits);
+  /// Star with qubit 0 at the center.
+  static CouplingGraph star(int num_qubits);
+  static CouplingGraph grid(int rows, int cols);
+
+  int num_qubits() const { return num_qubits_; }
+  bool has_edge(int a, int b) const;
+  /// BFS hop distance; throws if the graph is disconnected between a, b.
+  int distance(int a, int b) const;
+  bool is_complete() const;
+  bool is_connected() const;
+
+  /// Routed CNOT cost: 1 on an edge, else the nearest-neighbour parity
+  /// ladder 4*(d - 1) (see routing.hpp).
+  std::int64_t routed_cnot_cost(int control, int target) const;
+
+  /// Routed cost of a (multi-)controlled rotation: the gray-code lowering
+  /// uses control bit b for 2^(c-1-b) CNOTs (the top bit once more), so
+  /// controls are assigned far-to-near to minimize the total.
+  std::int64_t routed_rotation_cost(
+      const std::vector<ControlLiteral>& controls, int target) const;
+
+  /// Some shortest path between two qubits (inclusive endpoints).
+  std::vector<int> shortest_path(int from, int to) const;
+
+  std::string to_string() const;
+
+ private:
+  int num_qubits_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> distance_;  // -1 = unreachable
+
+  void compute_distances();
+};
+
+}  // namespace qsp

@@ -1,0 +1,34 @@
+#include "circuit/cost_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace qsp {
+
+std::int64_t rotation_cost(int num_controls) {
+  QSP_ASSERT(num_controls >= 0 && num_controls < 63);
+  if (num_controls == 0) return 0;
+  if (num_controls == 1) return 2;
+  return std::int64_t{1} << num_controls;
+}
+
+std::int64_t gate_cnot_cost(const Gate& gate) {
+  switch (gate.kind()) {
+    case GateKind::kX:
+    case GateKind::kRy:
+      return 0;
+    case GateKind::kCNOT:
+      return 1;
+    case GateKind::kCRy:
+      return 2;
+    case GateKind::kRz:
+      return 0;
+    case GateKind::kMCRy:
+    case GateKind::kUCRy:
+    case GateKind::kUCRz:
+      return rotation_cost(gate.num_controls());
+  }
+  QSP_ASSERT_MSG(false, "unreachable gate kind");
+  return 0;
+}
+
+}  // namespace qsp

@@ -1,0 +1,22 @@
+#pragma once
+// CNOT cost model of Table I. Costs are those of the standard ancilla-free
+// decompositions: Ry/X are free single-qubit gates, CNOT costs 1, CRy lowers
+// to 2 CNOTs, and an MCRy/UCRy over c controls lowers to 2^c CNOTs via the
+// gray-code multiplexor (Mottonen et al. 2004).
+
+#include <cstdint>
+
+#include "circuit/gate.hpp"
+
+namespace qsp {
+
+/// Model cost of one gate. For UCRy this is the worst-case 2^c; the
+/// zero-angle-eliding lowering may realize fewer (see lowering.hpp), which
+/// benches account for by costing the *lowered* circuit.
+std::int64_t gate_cnot_cost(const Gate& gate);
+
+/// Model cost of a rotation/relabel arc with `num_controls` control
+/// literals: 0 -> 0 (Ry), 1 -> 2 (CRy), c -> 2^c (MCRy).
+std::int64_t rotation_cost(int num_controls);
+
+}  // namespace qsp

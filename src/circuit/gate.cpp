@@ -1,0 +1,207 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsp {
+namespace {
+
+void check_target(int target) {
+  if (target < 0) throw std::invalid_argument("Gate: negative target");
+}
+
+void check_controls(const std::vector<ControlLiteral>& controls, int target) {
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    if (controls[i].qubit < 0) {
+      throw std::invalid_argument("Gate: negative control qubit");
+    }
+    if (controls[i].qubit == target) {
+      throw std::invalid_argument("Gate: control equals target");
+    }
+    for (std::size_t j = i + 1; j < controls.size(); ++j) {
+      if (controls[i].qubit == controls[j].qubit) {
+        throw std::invalid_argument("Gate: duplicate control qubit");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Gate Gate::x(int target) {
+  check_target(target);
+  Gate g;
+  g.kind_ = GateKind::kX;
+  g.target_ = target;
+  return g;
+}
+
+Gate Gate::ry(int target, double theta) {
+  check_target(target);
+  Gate g;
+  g.kind_ = GateKind::kRy;
+  g.target_ = target;
+  g.theta_ = theta;
+  return g;
+}
+
+Gate Gate::cnot(int control, int target, bool positive) {
+  check_target(target);
+  Gate g;
+  g.kind_ = GateKind::kCNOT;
+  g.target_ = target;
+  g.controls_ = {ControlLiteral{control, positive}};
+  check_controls(g.controls_, target);
+  return g;
+}
+
+Gate Gate::cry(int control, int target, double theta, bool positive) {
+  check_target(target);
+  Gate g;
+  g.kind_ = GateKind::kCRy;
+  g.target_ = target;
+  g.theta_ = theta;
+  g.controls_ = {ControlLiteral{control, positive}};
+  check_controls(g.controls_, target);
+  return g;
+}
+
+Gate Gate::mcry(std::vector<ControlLiteral> controls, int target,
+                double theta) {
+  check_target(target);
+  check_controls(controls, target);
+  if (controls.empty()) return ry(target, theta);
+  if (controls.size() == 1) {
+    return cry(controls[0].qubit, target, theta, controls[0].positive);
+  }
+  Gate g;
+  g.kind_ = GateKind::kMCRy;
+  g.target_ = target;
+  g.theta_ = theta;
+  g.controls_ = std::move(controls);
+  std::sort(g.controls_.begin(), g.controls_.end(),
+            [](const ControlLiteral& a, const ControlLiteral& b) {
+              return a.qubit < b.qubit;
+            });
+  return g;
+}
+
+Gate Gate::ucry(std::vector<int> controls, int target,
+                std::vector<double> angles) {
+  check_target(target);
+  if (angles.size() != (std::size_t{1} << controls.size())) {
+    throw std::invalid_argument("ucry: angles size must be 2^controls");
+  }
+  std::vector<ControlLiteral> literals;
+  literals.reserve(controls.size());
+  for (const int c : controls) literals.push_back(ControlLiteral{c, true});
+  check_controls(literals, target);
+  Gate g;
+  g.kind_ = GateKind::kUCRy;
+  g.target_ = target;
+  g.controls_ = std::move(literals);
+  g.angles_ = std::move(angles);
+  return g;
+}
+
+Gate Gate::rz(int target, double theta) {
+  check_target(target);
+  Gate g;
+  g.kind_ = GateKind::kRz;
+  g.target_ = target;
+  g.theta_ = theta;
+  return g;
+}
+
+Gate Gate::ucrz(std::vector<int> controls, int target,
+                std::vector<double> angles) {
+  Gate g = ucry(std::move(controls), target, std::move(angles));
+  g.kind_ = GateKind::kUCRz;
+  return g;
+}
+
+int Gate::num_controls() const { return static_cast<int>(controls_.size()); }
+
+Gate Gate::adjoint() const {
+  Gate g = *this;
+  g.theta_ = -theta_;
+  for (double& a : g.angles_) a = -a;
+  return g;
+}
+
+Gate Gate::remapped(const std::vector<int>& qubit_map) const {
+  auto map = [&qubit_map](int q) {
+    if (q < 0 || q >= static_cast<int>(qubit_map.size())) {
+      throw std::invalid_argument("Gate::remapped: qubit outside map");
+    }
+    return qubit_map[static_cast<std::size_t>(q)];
+  };
+  Gate g = *this;
+  g.target_ = map(target_);
+  for (ControlLiteral& c : g.controls_) c.qubit = map(c.qubit);
+  check_controls(g.controls_, g.target_);
+  return g;
+}
+
+std::vector<int> Gate::qubits() const {
+  std::vector<int> qs;
+  qs.reserve(controls_.size() + 1);
+  for (const auto& c : controls_) qs.push_back(c.qubit);
+  qs.push_back(target_);
+  return qs;
+}
+
+int Gate::max_qubit() const {
+  int m = target_;
+  for (const auto& c : controls_) m = std::max(m, c.qubit);
+  return m;
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  auto controls_str = [&]() {
+    std::string s;
+    for (const auto& c : controls_) {
+      if (!s.empty()) s += ',';
+      s += (c.positive ? "" : "!") + std::to_string(c.qubit);
+    }
+    return s;
+  };
+  switch (kind_) {
+    case GateKind::kX:
+      os << "X(q" << target_ << ')';
+      break;
+    case GateKind::kRy:
+      os << "Ry(q" << target_ << ", " << theta_ << ')';
+      break;
+    case GateKind::kCNOT:
+      os << "CNOT(" << controls_str() << " -> q" << target_ << ')';
+      break;
+    case GateKind::kCRy:
+      os << "CRy(" << controls_str() << " -> q" << target_ << ", " << theta_
+         << ')';
+      break;
+    case GateKind::kMCRy:
+      os << "MCRy(" << controls_str() << " -> q" << target_ << ", " << theta_
+         << ')';
+      break;
+    case GateKind::kUCRy:
+      os << "UCRy(" << controls_str() << " -> q" << target_ << ", "
+         << angles_.size() << " angles)";
+      break;
+    case GateKind::kRz:
+      os << "Rz(q" << target_ << ", " << theta_ << ')';
+      break;
+    case GateKind::kUCRz:
+      os << "UCRz(" << controls_str() << " -> q" << target_ << ", "
+         << angles_.size() << " angles)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace qsp

@@ -1,0 +1,226 @@
+#include "circuit/lowering.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace qsp {
+namespace {
+
+void emit_ucr(Circuit& out, const std::vector<int>& controls, int target,
+              const std::vector<double>& pattern_angles,
+              const LoweringOptions& options, bool z_axis);
+
+void emit_ucry(Circuit& out, const std::vector<int>& controls, int target,
+               const std::vector<double>& pattern_angles,
+               const LoweringOptions& options) {
+  emit_ucr(out, controls, target, pattern_angles, options, /*z_axis=*/false);
+}
+
+void emit_cry(Circuit& out, const ControlLiteral& c, int target,
+              double theta) {
+  // Standard 2-CNOT realization. With the circuit [Ry(a); CX; Ry(b); CX]
+  // the control=1 branch sees Ry(a - b) and the control=0 branch Ry(a+b):
+  //   positive literal: a =  theta/2, b = -theta/2
+  //   negative literal: a =  theta/2, b = +theta/2
+  const double a = theta / 2;
+  const double b = c.positive ? -theta / 2 : theta / 2;
+  out.append(Gate::ry(target, a));
+  out.append(Gate::cnot(c.qubit, target));
+  out.append(Gate::ry(target, b));
+  out.append(Gate::cnot(c.qubit, target));
+}
+
+void emit_ucr(Circuit& out, const std::vector<int>& controls, int target,
+              const std::vector<double>& pattern_angles,
+              const LoweringOptions& options, bool z_axis) {
+  auto rotation = [&](double theta) {
+    return z_axis ? Gate::rz(target, theta) : Gate::ry(target, theta);
+  };
+  const std::size_t c = controls.size();
+  if (c == 0) {
+    if (std::abs(pattern_angles[0]) > options.angle_epsilon ||
+        !options.elide_zero_rotations) {
+      out.append(rotation(pattern_angles[0]));
+    }
+    return;
+  }
+  const std::vector<double> phi = ucry_multiplexor_angles(pattern_angles);
+  const std::uint32_t slots = std::uint32_t{1} << c;
+  // Gray-code walk: rotation j, then CNOT whose control is the bit that
+  // changes between gray(j) and gray(j+1); the last CNOT closes the cycle
+  // with the top control so the accumulated X-parity cancels.
+  std::uint32_t pending_mask = 0;  // control bits of postponed CNOTs
+  auto flush = [&] {
+    for (std::size_t b = 0; b < c; ++b) {
+      if ((pending_mask >> b) & 1u) {
+        out.append(Gate::cnot(controls[b], target));
+      }
+    }
+    pending_mask = 0;
+  };
+  for (std::uint32_t j = 0; j < slots; ++j) {
+    const bool zero = std::abs(phi[j]) <= options.angle_epsilon;
+    if (!options.elide_zero_rotations || !zero) {
+      flush();
+      out.append(rotation(phi[j]));
+    }
+    const int change =
+        (j + 1 == slots) ? static_cast<int>(c) - 1 : gray_change_bit(j);
+    pending_mask ^= std::uint32_t{1} << change;
+  }
+  flush();
+}
+
+}  // namespace
+
+Gate mcry_to_ucry(const Gate& gate) {
+  if (gate.kind() == GateKind::kUCRy) return gate;
+  QSP_ASSERT(gate.kind() == GateKind::kMCRy ||
+             gate.kind() == GateKind::kCRy);
+  std::vector<int> controls;
+  std::uint32_t pattern = 0;
+  for (std::size_t i = 0; i < gate.controls().size(); ++i) {
+    controls.push_back(gate.controls()[i].qubit);
+    if (gate.controls()[i].positive) pattern |= std::uint32_t{1} << i;
+  }
+  std::vector<double> angles(std::size_t{1} << controls.size(), 0.0);
+  angles[pattern] = gate.theta();
+  return Gate::ucry(std::move(controls), gate.target(), std::move(angles));
+}
+
+Gate reorder_ucry_controls(const Gate& gate,
+                           const std::vector<int>& new_order) {
+  const Gate u = mcry_to_ucry(gate);
+  const std::size_t c = u.controls().size();
+  if (new_order.size() != c) {
+    throw std::invalid_argument("reorder_ucry_controls: order size");
+  }
+  // position_of[q] = bit position of control qubit q in the current gate.
+  std::vector<int> old_bit(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    int found = -1;
+    for (std::size_t i = 0; i < c; ++i) {
+      if (u.controls()[i].qubit == new_order[j]) found = static_cast<int>(i);
+    }
+    if (found < 0) {
+      throw std::invalid_argument(
+          "reorder_ucry_controls: order must permute the controls");
+    }
+    old_bit[j] = found;
+  }
+  std::vector<double> angles(u.angles().size());
+  for (std::uint32_t s_new = 0; s_new < angles.size(); ++s_new) {
+    std::uint32_t s_old = 0;
+    for (std::size_t j = 0; j < c; ++j) {
+      if ((s_new >> j) & 1u) {
+        s_old |= std::uint32_t{1} << old_bit[j];
+      }
+    }
+    angles[s_new] = u.angles()[s_old];
+  }
+  return Gate::ucry(new_order, u.target(), std::move(angles));
+}
+
+std::vector<double> ucry_multiplexor_angles(const std::vector<double>& a) {
+  const std::size_t slots = a.size();
+  QSP_ASSERT(slots > 0 && (slots & (slots - 1)) == 0);
+  std::vector<double> phi(slots, 0.0);
+  for (std::uint32_t j = 0; j < slots; ++j) {
+    const std::uint32_t g = gray_code(j);
+    double acc = 0.0;
+    for (std::uint32_t s = 0; s < slots; ++s) {
+      acc += (parity(s, g) != 0) ? -a[s] : a[s];
+    }
+    phi[j] = acc / static_cast<double>(slots);
+  }
+  return phi;
+}
+
+Circuit lower(const Circuit& circuit, const LoweringOptions& options) {
+  Circuit out(circuit.num_qubits());
+  auto trivial = [&](const Gate& g) {
+    return options.elide_zero_rotations &&
+           std::abs(g.theta()) <= options.angle_epsilon;
+  };
+  for (const Gate& g : circuit.gates()) {
+    switch (g.kind()) {
+      case GateKind::kX:
+        out.append(g);
+        break;
+      case GateKind::kRy:
+        if (!trivial(g)) out.append(g);
+        break;
+      case GateKind::kCNOT: {
+        const ControlLiteral c = g.controls()[0];
+        if (c.positive) {
+          out.append(g);
+        } else {
+          out.append(Gate::x(c.qubit));
+          out.append(Gate::cnot(c.qubit, g.target()));
+          out.append(Gate::x(c.qubit));
+        }
+        break;
+      }
+      case GateKind::kCRy:
+        emit_cry(out, g.controls()[0], g.target(), g.theta());
+        break;
+      case GateKind::kMCRy: {
+        // Embed into a UCRy whose only nonzero pattern angle sits at the
+        // pattern selected by the control polarities. The Walsh transform
+        // of a one-hot angle vector is dense, so no elision applies and the
+        // lowered cost is exactly 2^c, matching the Table-I model.
+        const Gate u = mcry_to_ucry(g);
+        std::vector<int> controls;
+        for (const auto& c : u.controls()) controls.push_back(c.qubit);
+        emit_ucry(out, controls, u.target(), u.angles(), options);
+        break;
+      }
+      case GateKind::kUCRy: {
+        std::vector<int> controls;
+        for (const auto& c : g.controls()) controls.push_back(c.qubit);
+        emit_ucry(out, controls, g.target(), g.angles(), options);
+        break;
+      }
+      case GateKind::kRz:
+        if (!trivial(g)) out.append(g);
+        break;
+      case GateKind::kUCRz: {
+        std::vector<int> controls;
+        for (const auto& c : g.controls()) controls.push_back(c.qubit);
+        emit_ucr(out, controls, g.target(), g.angles(), options,
+                 /*z_axis=*/true);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t lowered_cnot_count(const Circuit& lowered) {
+  std::int64_t count = 0;
+  for (const Gate& g : lowered.gates()) {
+    switch (g.kind()) {
+      case GateKind::kCNOT:
+        ++count;
+        break;
+      case GateKind::kX:
+      case GateKind::kRy:
+      case GateKind::kRz:
+        break;
+      default:
+        throw std::invalid_argument(
+            "lowered_cnot_count: circuit contains non-primitive gates");
+    }
+  }
+  return count;
+}
+
+std::int64_t count_cnots_after_lowering(const Circuit& circuit,
+                                        const LoweringOptions& options) {
+  return lowered_cnot_count(lower(circuit, options));
+}
+
+}  // namespace qsp

@@ -1,0 +1,46 @@
+#pragma once
+// Lowering to the primitive set {X, Ry, CNOT} ("mapping the circuit to
+// {U(2), CNOT}" in the paper's terminology, Section VI-A). The CNOT count
+// of the lowered circuit is what all benchmark tables report.
+
+#include "circuit/circuit.hpp"
+
+namespace qsp {
+
+struct LoweringOptions {
+  /// Skip zero rotations in multiplexors and fuse the freed CNOT pairs.
+  /// With elision a UCRy over c controls may cost fewer than 2^c CNOTs;
+  /// without it the count is exactly 2^c, matching the Table-I model.
+  bool elide_zero_rotations = false;
+  /// Angles with |theta| below this are treated as zero during elision.
+  double angle_epsilon = 1e-12;
+};
+
+/// Rewrite `circuit` using only {X, Ry, CNOT} gates (positive controls).
+Circuit lower(const Circuit& circuit, const LoweringOptions& options = {});
+
+/// Number of CNOT gates in an already-lowered circuit.
+std::int64_t lowered_cnot_count(const Circuit& lowered);
+
+/// Convenience: lower then count CNOTs.
+std::int64_t count_cnots_after_lowering(const Circuit& circuit,
+                                        const LoweringOptions& options = {});
+
+/// The multiplexor rotation angles phi such that the gray-code circuit with
+/// rotations phi[j] realizes pattern angles a[s]; exposed for testing.
+/// phi[j] = 2^-c * sum_s (-1)^{popcount(s & gray(j)) mod 2} a[s].
+std::vector<double> ucry_multiplexor_angles(const std::vector<double>& a);
+
+/// Embed an MCRy into the equivalent UCRy (one-hot pattern angle table);
+/// UCRy gates pass through unchanged.
+Gate mcry_to_ucry(const Gate& gate);
+
+/// Equivalent UCRy whose control wires are listed in `new_order` (a
+/// permutation of the gate's control qubits), with the pattern-angle table
+/// re-indexed to match. The gray-code lowering uses control bit b for
+/// 2^(c-1-b) CNOTs, so callers can put cheap (e.g. coupling-near) wires
+/// first. Accepts MCRy (embedded first) or UCRy.
+Gate reorder_ucry_controls(const Gate& gate,
+                           const std::vector<int>& new_order);
+
+}  // namespace qsp

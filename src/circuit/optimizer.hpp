@@ -1,0 +1,35 @@
+#pragma once
+// Peephole circuit optimizer for lowered circuits: removes the local
+// redundancies that composition of synthesis stages leaves behind
+// (zero rotations, adjacent self-inverse pairs, fusible rotations).
+// Used by the workflow before final counting; sound for any circuit.
+
+#include "circuit/circuit.hpp"
+
+namespace qsp {
+
+struct OptimizerOptions {
+  /// Rotations with |theta| below this are dropped.
+  double angle_epsilon = 1e-12;
+  /// Maximum fixpoint sweeps (each sweep is linear in circuit size).
+  int max_passes = 8;
+};
+
+struct OptimizerStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::int64_t cnots_removed = 0;
+  int passes = 0;
+};
+
+/// Apply peephole rules until fixpoint:
+///  * drop Ry(theta ~ 0) and empty rotations;
+///  * cancel adjacent X-X and identical CNOT-CNOT pairs (adjacency on the
+///    touched wires, not in the raw list);
+///  * fuse adjacent Ry rotations on the same wire (angles add; a fused
+///    zero drops).
+/// The rewritten circuit implements the same unitary.
+Circuit optimize(const Circuit& circuit, const OptimizerOptions& options = {},
+                 OptimizerStats* stats = nullptr);
+
+}  // namespace qsp

@@ -1,0 +1,39 @@
+#include "circuit/qasm.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qsp {
+
+std::string to_qasm(const Circuit& circuit, const LoweringOptions& options) {
+  const Circuit lowered = lower(circuit, options);
+  std::ostringstream os;
+  os.precision(17);
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << lowered.num_qubits() << "];\n";
+  for (const Gate& g : lowered.gates()) {
+    switch (g.kind()) {
+      case GateKind::kX:
+        os << "x q[" << g.target() << "];\n";
+        break;
+      case GateKind::kRy:
+        os << "ry(" << g.theta() << ") q[" << g.target() << "];\n";
+        break;
+      case GateKind::kRz:
+        os << "rz(" << g.theta() << ") q[" << g.target() << "];\n";
+        break;
+      case GateKind::kCNOT:
+        QSP_ASSERT(g.controls()[0].positive);
+        os << "cx q[" << g.controls()[0].qubit << "],q[" << g.target()
+           << "];\n";
+        break;
+      default:
+        QSP_ASSERT_MSG(false, "lower() must remove composite gates");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qsp

@@ -1,0 +1,16 @@
+#pragma once
+// OpenQASM 2.0 export. Circuits are lowered to {X, Ry, CNOT} first so the
+// output uses only `x`, `ry` and `cx`.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/lowering.hpp"
+
+namespace qsp {
+
+/// Serialize as an OpenQASM 2.0 program over register q[num_qubits].
+std::string to_qasm(const Circuit& circuit,
+                    const LoweringOptions& options = {});
+
+}  // namespace qsp

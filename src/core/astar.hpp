@@ -1,0 +1,76 @@
+#pragma once
+// The A* shortest-path solver of paper Section V (Algorithm 1). Searches
+// from the target state toward the ground-state equivalence class; the
+// returned circuit is the adjoint of the discovered arc sequence plus a
+// zero-cost disentangling suffix, and provably CNOT-optimal whenever the
+// search completes (admissible heuristic + node reopening).
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/coupling.hpp"
+#include "circuit/circuit.hpp"
+#include "core/canonical.hpp"
+#include "core/heuristic.hpp"
+#include "core/moves.hpp"
+#include "core/slot_state.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp {
+
+struct SearchOptions {
+  HeuristicMode heuristic = HeuristicMode::kComponent;
+  CanonicalLevel canonical = CanonicalLevel::kPU2Exact;
+  /// Rotation-arc control budget; -1 means unrestricted (n - 1).
+  int max_controls = -1;
+  /// Abort after generating this many arcs (0 = unlimited).
+  std::uint64_t node_budget = 5'000'000;
+  /// Abort after this many seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+  /// Rotation-candidate enumeration cap (see MoveGenOptions); searches on
+  /// states whose slot total exceeds this lose the optimality certificate.
+  std::uint64_t full_candidate_cap = 4096;
+  /// Optional coupling constraint: arc costs become routed CNOT costs and
+  /// qubit-permutation canonicalization is disabled unless the graph is
+  /// complete (relabeling is only free on a symmetric coupling, as the
+  /// paper notes). Route the result with arch/routing.hpp to realize the
+  /// reported cost on hardware.
+  std::shared_ptr<const CouplingGraph> coupling;
+};
+
+struct SearchStats {
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t nodes_generated = 0;
+  std::uint64_t classes_stored = 0;
+  double seconds = 0.0;
+  /// True if the search ran to completion (goal popped) within budget.
+  bool completed = false;
+};
+
+struct SynthesisResult {
+  bool found = false;
+  /// True when the result is provably CNOT-optimal (A* completion).
+  bool optimal = false;
+  std::int64_t cnot_cost = -1;
+  Circuit circuit{1};
+  SearchStats stats;
+};
+
+class AStarSynthesizer {
+ public:
+  explicit AStarSynthesizer(SearchOptions options = {});
+
+  /// Synthesize a preparation circuit for the slot-encoded target.
+  SynthesisResult synthesize(const SlotState& target) const;
+
+  /// Convenience: decompose a sparse state into slots first. Throws
+  /// std::invalid_argument if the state has no slot decomposition.
+  SynthesisResult synthesize(const QuantumState& target) const;
+
+  const SearchOptions& options() const { return options_; }
+
+ private:
+  SearchOptions options_;
+};
+
+}  // namespace qsp

@@ -1,0 +1,224 @@
+#include "core/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "core/moves.hpp"
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace qsp {
+namespace {
+
+std::uint64_t pack(BasisIndex index, std::uint32_t count) {
+  return (static_cast<std::uint64_t>(index) << 32) | count;
+}
+
+/// Sorted packed entry vector after XOR-translating indices by `mask`.
+CanonicalKey translated_sorted(const std::vector<SlotEntry>& entries,
+                               BasisIndex mask) {
+  CanonicalKey out;
+  out.reserve(entries.size());
+  for (const SlotEntry& e : entries) out.push_back(pack(e.index ^ mask, e.count));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Exact lex-min over all qubit permutations of an (already translated)
+/// packed entry vector. n <= 8 (guarded by util::permutations).
+CanonicalKey min_over_permutations(const CanonicalKey& packed, int n) {
+  CanonicalKey best;
+  for (const auto& perm : permutations(n)) {
+    CanonicalKey cur;
+    cur.reserve(packed.size());
+    for (const std::uint64_t pe : packed) {
+      cur.push_back(pack(permute_bits(static_cast<BasisIndex>(pe >> 32), perm),
+                         static_cast<std::uint32_t>(pe)));
+    }
+    std::sort(cur.begin(), cur.end());
+    if (best.empty() || cur < best) best = std::move(cur);
+  }
+  return best;
+}
+
+/// Greedy deterministic qubit ordering: repeatedly pick the unused qubit
+/// that lexicographically minimizes the sorted partial (prefix, count)
+/// vector. Sound for deduplication (the result lies in the orbit) though
+/// not guaranteed orbit-minimal; used when n is too large for exact
+/// permutation search.
+CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n) {
+  const std::size_t m = packed.size();
+  std::vector<std::uint32_t> prefix(m, 0);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  auto partial_key = [&](int q) {
+    CanonicalKey vals(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto index = static_cast<BasisIndex>(packed[i] >> 32);
+      const auto count = static_cast<std::uint32_t>(packed[i]);
+      vals[i] = pack((prefix[i] << 1) |
+                         static_cast<std::uint32_t>(get_bit(index, q)),
+                     count);
+    }
+    std::sort(vals.begin(), vals.end());
+    return vals;
+  };
+  for (int step = 0; step < n; ++step) {
+    int best_q = -1;
+    CanonicalKey best_vals;
+    for (int q = 0; q < n; ++q) {
+      if (used[static_cast<std::size_t>(q)]) continue;
+      CanonicalKey vals = partial_key(q);
+      if (best_q < 0 || vals < best_vals) {
+        best_q = q;
+        best_vals = std::move(vals);
+      }
+    }
+    used[static_cast<std::size_t>(best_q)] = true;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto index = static_cast<BasisIndex>(packed[i] >> 32);
+      prefix[i] = (prefix[i] << 1) |
+                  static_cast<std::uint32_t>(get_bit(index, best_q));
+    }
+  }
+  CanonicalKey out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i] = pack(prefix[i], static_cast<std::uint32_t>(packed[i]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::size_t CanonicalKeyHash::operator()(const CanonicalKey& key) const {
+  std::size_t h = 1469598103934665603ull;
+  for (const std::uint64_t x : key) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+SlotState compress_free(const SlotState& state) {
+  SlotState cur = state;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < cur.num_qubits(); ++q) {
+      if (cur.qubit_constant(q)) continue;
+      if (!cur.qubit_separable(q)) continue;
+      // Zero-cost merge: clear bit q in every entry (duplicates merge in
+      // the constructor).
+      std::vector<SlotEntry> entries = cur.entries();
+      const BasisIndex bit = BasisIndex{1} << q;
+      for (SlotEntry& e : entries) e.index &= ~bit;
+      cur = SlotState(cur.num_qubits(), std::move(entries));
+      changed = true;
+    }
+  }
+  return cur;
+}
+
+CanonicalKey canonical_key(const SlotState& state, CanonicalLevel level) {
+  if (level == CanonicalLevel::kNone) {
+    CanonicalKey key;
+    key.reserve(state.entries().size());
+    for (const SlotEntry& e : state.entries()) key.push_back(pack(e.index, e.count));
+    return key;
+  }
+  const SlotState compressed = compress_free(state);
+  const int n = compressed.num_qubits();
+  const bool exact_perm = level == CanonicalLevel::kPU2Exact && n <= 8;
+  const bool greedy_perm =
+      level == CanonicalLevel::kPU2Greedy ||
+      (level == CanonicalLevel::kPU2Exact && n > 8);
+
+  CanonicalKey best;
+  // Lex-minimal translated forms start with index 0, so it suffices to try
+  // translations by each support index.
+  for (const SlotEntry& e : compressed.entries()) {
+    CanonicalKey t = translated_sorted(compressed.entries(), e.index);
+    CanonicalKey candidate;
+    if (exact_perm) {
+      candidate = min_over_permutations(t, n);
+    } else if (greedy_perm) {
+      candidate = greedy_perm_form(t, n);
+    } else {
+      candidate = std::move(t);
+    }
+    if (best.empty() || candidate < best) best = std::move(candidate);
+  }
+  return best;
+}
+
+bool free_reducible(const SlotState& state, CanonicalLevel level) {
+  if (level == CanonicalLevel::kNone) return state.is_ground();
+  const SlotState compressed = compress_free(state);
+  // After compression every separable qubit is constant; reducible iff all
+  // qubits are constant (constant-1 clears with a free X).
+  for (int q = 0; q < compressed.num_qubits(); ++q) {
+    if (!compressed.qubit_constant(q)) return false;
+  }
+  return true;
+}
+
+std::vector<Gate> free_peel_gates(SlotState& state) {
+  std::vector<Gate> gates;
+  bool progress = true;
+  while (!state.is_ground() && progress) {
+    progress = false;
+    for (int q = 0; q < state.num_qubits(); ++q) {
+      int value = 0;
+      if (state.qubit_constant(q, &value)) {
+        if (value == 1) {
+          gates.push_back(Gate::x(q));
+          state = state.with_x(q);
+          progress = true;
+        }
+        continue;
+      }
+      if (!state.qubit_separable(q)) continue;
+      // Merge angle from any group with slots on both sides of qubit q:
+      // rotate (sqrt(j), sqrt(k)) onto (sqrt(j+k), 0).
+      const BasisIndex bit = BasisIndex{1} << q;
+      std::map<BasisIndex, std::pair<std::uint64_t, std::uint64_t>> groups;
+      for (const SlotEntry& e : state.entries()) {
+        auto& [j, k] = groups[e.index & ~bit];
+        ((e.index & bit) == 0 ? j : k) += e.count;
+      }
+      double theta = 0.0;
+      for (const auto& [rest, jk] : groups) {
+        if (jk.second > 0) {
+          theta = -2.0 * std::atan2(std::sqrt(static_cast<double>(jk.second)),
+                                    std::sqrt(static_cast<double>(jk.first)));
+          break;
+        }
+      }
+      QSP_ASSERT(theta != 0.0);
+      Move mv;
+      mv.kind = MoveKind::kRotation;
+      mv.target = q;
+      mv.theta = theta;
+      state = apply_move(state, mv);
+      gates.push_back(Gate::ry(q, theta));
+      progress = true;
+    }
+  }
+  return gates;
+}
+
+std::vector<Gate> free_disentangle_gates(const SlotState& state,
+                                         SlotState* reached) {
+  SlotState cur = state;
+  std::vector<Gate> gates = free_peel_gates(cur);
+  if (!cur.is_ground()) {
+    throw std::invalid_argument(
+        "free_disentangle_gates: state is not fully separable");
+  }
+  if (reached != nullptr) *reached = cur;
+  return gates;
+}
+
+}  // namespace qsp

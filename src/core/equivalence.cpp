@@ -1,0 +1,166 @@
+#include "core/equivalence.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/combinatorics.hpp"
+
+namespace qsp {
+namespace {
+
+/// Index sets as bitmasks over basis positions 0..2^n-1.
+using SetMask = std::uint32_t;
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+/// Permute the basis positions of `s` by the index map `map` (position x of
+/// the result holds position map[x] of s... here map is an involution so
+/// direction does not matter).
+SetMask apply_position_map(SetMask s, const std::vector<BasisIndex>& map) {
+  SetMask out = 0;
+  for (std::size_t x = 0; x < map.size(); ++x) {
+    if ((s >> x) & 1u) out |= SetMask{1} << map[x];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ClassCounts> count_uniform_equivalence_classes(int n, int max_m) {
+  if (n < 1 || n > 4) {
+    throw std::invalid_argument(
+        "count_uniform_equivalence_classes: n must be in [1, 4]");
+  }
+  const std::uint32_t positions = std::uint32_t{1} << n;        // 2^n
+  const std::uint32_t num_sets = (std::uint32_t{1} << positions);  // 2^(2^n)
+
+  // Precompute position maps for the generators.
+  std::vector<std::vector<BasisIndex>> xor_maps(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    auto& map = xor_maps[static_cast<std::size_t>(t)];
+    map.resize(positions);
+    for (BasisIndex x = 0; x < positions; ++x) map[x] = flip_bit(x, t);
+  }
+  std::vector<std::vector<BasisIndex>> swap_maps;
+  for (int p = 0; p < n; ++p) {
+    for (int q = p + 1; q < n; ++q) {
+      std::vector<BasisIndex> map(positions);
+      for (BasisIndex x = 0; x < positions; ++x) map[x] = swap_bits(x, p, q);
+      swap_maps.push_back(std::move(map));
+    }
+  }
+
+  UnionFind u2(num_sets);
+  UnionFind pu2(num_sets);
+
+  for (SetMask s = 1; s < num_sets; ++s) {
+    for (int t = 0; t < n; ++t) {
+      const auto& map = xor_maps[static_cast<std::size_t>(t)];
+      const SetMask translated = apply_position_map(s, map);
+      u2.unite(s, translated);
+      pu2.unite(s, translated);
+      if (translated == s) {
+        // Closed under xor e_t: zero-cost merge keeps the t=0 half.
+        SetMask half = 0;
+        for (BasisIndex x = 0; x < positions; ++x) {
+          if (((s >> x) & 1u) != 0 && get_bit(x, t) == 0) {
+            half |= SetMask{1} << x;
+          }
+        }
+        u2.unite(s, half);
+        pu2.unite(s, half);
+      }
+      // Constant qubit: zero-cost split doubles the set. Its inverse is
+      // the merge above, so one direction of union suffices; we add it
+      // explicitly for states where qubit t is constant 1 (the merge rule
+      // above only fires on closed sets).
+      bool constant = true;
+      int value = -1;
+      for (BasisIndex x = 0; x < positions && constant; ++x) {
+        if (((s >> x) & 1u) == 0) continue;
+        const int b = get_bit(x, t);
+        if (value < 0) value = b;
+        constant = (b == value);
+      }
+      if (constant) {
+        const SetMask doubled = s | translated;
+        u2.unite(s, doubled);
+        pu2.unite(s, doubled);
+      }
+    }
+    for (const auto& map : swap_maps) {
+      pu2.unite(s, apply_position_map(s, map));
+    }
+  }
+
+  // Minimal cardinality per component.
+  std::vector<int> u2_min(num_sets, positions + 1);
+  std::vector<int> pu2_min(num_sets, positions + 1);
+  for (SetMask s = 1; s < num_sets; ++s) {
+    const int card = popcount(s);
+    auto& mu = u2_min[u2.find(s)];
+    mu = std::min(mu, card);
+    auto& mp = pu2_min[pu2.find(s)];
+    mp = std::min(mp, card);
+  }
+
+  std::vector<ClassCounts> out;
+  for (int m = 1; m <= max_m; ++m) {
+    ClassCounts row;
+    row.m = m;
+    row.total_states = binomial(positions, static_cast<unsigned>(m));
+    out.push_back(row);
+  }
+  // Count class roots by minimal cardinality.
+  for (SetMask s = 1; s < num_sets; ++s) {
+    if (u2.find(s) == s) {
+      const int m = u2_min[s];
+      if (m >= 1 && m <= max_m) ++out[static_cast<std::size_t>(m - 1)].u2_classes;
+    }
+    if (pu2.find(s) == s) {
+      const int m = pu2_min[s];
+      if (m >= 1 && m <= max_m) ++out[static_cast<std::size_t>(m - 1)].pu2_classes;
+    }
+  }
+  // Count classes touching each cardinality level (alternative definition).
+  for (int m = 1; m <= max_m; ++m) {
+    std::vector<bool> seen_u2(num_sets, false), seen_pu2(num_sets, false);
+    std::uint64_t cu = 0, cp = 0;
+    for (SetMask s = 1; s < num_sets; ++s) {
+      if (popcount(s) != m) continue;
+      const std::uint32_t ru = u2.find(s);
+      if (!seen_u2[ru]) {
+        seen_u2[ru] = true;
+        ++cu;
+      }
+      const std::uint32_t rp = pu2.find(s);
+      if (!seen_pu2[rp]) {
+        seen_pu2[rp] = true;
+        ++cp;
+      }
+    }
+    out[static_cast<std::size_t>(m - 1)].u2_touching = cu;
+    out[static_cast<std::size_t>(m - 1)].pu2_touching = cp;
+  }
+  return out;
+}
+
+}  // namespace qsp

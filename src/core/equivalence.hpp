@@ -1,0 +1,32 @@
+#pragma once
+// Brute-force equivalence-class counting for uniform states (paper
+// Table III). A uniform n-qubit state is identified with its nonempty index
+// set S, encoded as a bitmask over the 2^n basis positions. Zero-cost
+// generators connect equivalent states:
+//   X(t)            translate every index by e_t
+//   merge(t)        when S is closed under xor e_t: keep the t=0 half
+//   split(t)        when qubit t is constant on S: S union (S xor e_t)
+//   swap(p, q)      qubit permutation generators (P U(2) level only)
+// Connected components under these generators are the equivalence classes
+// V_G / U(2) and V_G / P U(2); a class is attributed to the cardinality of
+// its smallest member (its canonical representative).
+
+#include <cstdint>
+#include <vector>
+
+namespace qsp {
+
+struct ClassCounts {
+  int m = 0;                       ///< cardinality (row of Table III)
+  std::uint64_t total_states = 0;  ///< |V_G| = C(2^n, m)
+  std::uint64_t u2_classes = 0;    ///< classes with minimal cardinality m
+  std::uint64_t pu2_classes = 0;   ///< same, with qubit permutations
+  std::uint64_t u2_touching = 0;   ///< classes containing any m-state
+  std::uint64_t pu2_touching = 0;
+};
+
+/// Count equivalence classes of uniform n-qubit states for cardinalities
+/// 1..max_m. Enumerates all 2^(2^n)-1 nonempty subsets: n <= 4 enforced.
+std::vector<ClassCounts> count_uniform_equivalence_classes(int n, int max_m);
+
+}  // namespace qsp

@@ -1,0 +1,34 @@
+#include "core/exact_synthesizer.hpp"
+
+#include <stdexcept>
+
+namespace qsp {
+
+ExactSynthesizer::ExactSynthesizer(ExactSynthesisOptions options)
+    : options_(options) {}
+
+SynthesisResult ExactSynthesizer::synthesize(const QuantumState& target) const {
+  const auto slot = SlotState::from_state(target);
+  if (!slot.has_value()) {
+    throw std::invalid_argument(
+        "ExactSynthesizer: target has no slot decomposition");
+  }
+  return synthesize(*slot);
+}
+
+SynthesisResult ExactSynthesizer::synthesize(const SlotState& target) const {
+  const AStarSynthesizer astar(options_.astar);
+  SynthesisResult result = astar.synthesize(target);
+  if (result.found || !options_.enable_beam_fallback) return result;
+
+  const BeamSynthesizer beam(options_.beam);
+  SynthesisResult fallback = beam.synthesize(target);
+  // Keep the A* statistics visible: the fallback happened because the
+  // exact search ran out of budget.
+  fallback.stats.nodes_expanded += result.stats.nodes_expanded;
+  fallback.stats.nodes_generated += result.stats.nodes_generated;
+  fallback.stats.seconds += result.stats.seconds;
+  return fallback;
+}
+
+}  // namespace qsp

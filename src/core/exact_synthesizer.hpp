@@ -1,0 +1,32 @@
+#pragma once
+// Facade over the exact A* solver with an anytime beam fallback. This is
+// the "exact CNOT synthesis" entry point used by the workflow (Fig. 5) and
+// by the benches; results carry an `optimal` certificate only when A*
+// completed.
+
+#include "core/astar.hpp"
+#include "core/beam.hpp"
+
+namespace qsp {
+
+struct ExactSynthesisOptions {
+  SearchOptions astar;
+  BeamOptions beam;
+  /// Fall back to beam search when A* exceeds its budget.
+  bool enable_beam_fallback = true;
+};
+
+class ExactSynthesizer {
+ public:
+  explicit ExactSynthesizer(ExactSynthesisOptions options = {});
+
+  SynthesisResult synthesize(const SlotState& target) const;
+  SynthesisResult synthesize(const QuantumState& target) const;
+
+  const ExactSynthesisOptions& options() const { return options_; }
+
+ private:
+  ExactSynthesisOptions options_;
+};
+
+}  // namespace qsp

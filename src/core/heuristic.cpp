@@ -1,0 +1,90 @@
+#include "core/heuristic.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qsp {
+namespace {
+
+/// Union-find over qubit ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+      parent_[static_cast<std::size_t>(a)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(a)])];
+      a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+  }
+  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// True if qubits p and q are statistically dependent in the measurement
+/// distribution. With binary marginals a single cell check suffices:
+/// m * n11 != n1. * n.1  <=>  dependent. Counts fit 64 bits; the products
+/// are compared in 128 bits.
+bool correlated(const SlotState& state, int p, int q) {
+  std::uint64_t n11 = 0, n1_ = 0, n_1 = 0;
+  for (const SlotEntry& e : state.entries()) {
+    const std::uint64_t bp = static_cast<std::uint64_t>(get_bit(e.index, p));
+    const std::uint64_t bq = static_cast<std::uint64_t>(get_bit(e.index, q));
+    n1_ += bp * e.count;
+    n_1 += bq * e.count;
+    n11 += (bp & bq) * e.count;
+  }
+  const std::uint64_t m = state.total();
+  return static_cast<unsigned __int128>(n11) * m !=
+         static_cast<unsigned __int128>(n1_) * n_1;
+}
+
+}  // namespace
+
+std::int64_t heuristic_lower_bound(const SlotState& state,
+                                   HeuristicMode mode) {
+  if (mode == HeuristicMode::kZero) return 0;
+
+  const int n = state.num_qubits();
+  std::vector<int> entangled;
+  for (int q = 0; q < n; ++q) {
+    if (!state.qubit_separable(q)) entangled.push_back(q);
+  }
+  if (entangled.empty()) return 0;
+
+  if (mode == HeuristicMode::kPair) {
+    return (static_cast<std::int64_t>(entangled.size()) + 1) / 2;
+  }
+
+  // kComponent: connected components of the correlation graph restricted to
+  // entangled qubits.
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < entangled.size(); ++i) {
+    for (std::size_t j = i + 1; j < entangled.size(); ++j) {
+      if (correlated(state, entangled[i], entangled[j])) {
+        sets.unite(entangled[i], entangled[j]);
+      }
+    }
+  }
+  std::vector<int> size(static_cast<std::size_t>(n), 0);
+  for (const int q : entangled) ++size[static_cast<std::size_t>(sets.find(q))];
+  std::int64_t bound = 0;
+  std::int64_t singletons = 0;
+  for (int r = 0; r < n; ++r) {
+    const int k = size[static_cast<std::size_t>(r)];
+    if (k >= 2) bound += k - 1;
+    if (k == 1) ++singletons;
+  }
+  bound += (singletons + 1) / 2;
+  return bound;
+}
+
+}  // namespace qsp

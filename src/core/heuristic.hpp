@@ -1,0 +1,26 @@
+#pragma once
+// Admissible lower bounds on the remaining CNOT cost (paper Section V-A).
+//
+// kPair      The paper's bound: every entangled qubit must be touched by a
+//            CNOT and a CNOT touches two qubits -> ceil(E / 2).
+// kComponent Stronger and still admissible: statistically correlated qubits
+//            must share a connected component of the circuit's interaction
+//            graph (light-cone argument from the product ground state), so
+//            the lowered circuit needs a spanning set of CNOT edges per
+//            correlation component: sum (k_i - 1) over components, plus
+//            ceil(s / 2) for entangled qubits with no pairwise correlation
+//            (e.g. parity states), which still need an incident edge each.
+
+#include <cstdint>
+
+#include "core/slot_state.hpp"
+
+namespace qsp {
+
+enum class HeuristicMode { kZero, kPair, kComponent };
+
+/// Lower bound on gamma(|0>, state) in CNOTs under the chosen mode.
+std::int64_t heuristic_lower_bound(const SlotState& state,
+                                   HeuristicMode mode);
+
+}  // namespace qsp

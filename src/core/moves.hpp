@@ -1,0 +1,75 @@
+#pragma once
+// The arc set of the state transition graph (paper Section IV): all
+// single-target amplitude-preserving transitions implementable by the gate
+// library {X, Ry, CNOT, CRy, MCRy} of Table I.
+//
+// Three move kinds cover the library exactly:
+//   X(t)                     free relabel (bit flip on all slots)
+//   CNOT(c, p, t)            cost 1, flips t where bit c == p
+//   Rotation(C, t, theta)    (multi-)controlled Ry; cost 0 / 2 / 2^|C|
+//
+// A rotation arc exists iff one shared angle theta maps every control-
+// satisfying rest-group's slot-count pair (j_r, k_r) onto non-negative
+// integer counts: (sqrt(j), sqrt(k)) -> R(theta/2) (sqrt(j'), sqrt(k')).
+// This single rule yields the paper's merge arcs (one side zeroed), split
+// arcs (their inverses), and direction-consistent relabels (theta = +-pi),
+// while correctly excluding transitions that would need a non-rotation
+// (e.g. a controlled both-direction swap, which no MCRy implements).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/coupling.hpp"
+#include "circuit/gate.hpp"
+#include "core/slot_state.hpp"
+
+namespace qsp {
+
+enum class MoveKind : std::uint8_t { kX, kCNOT, kRotation };
+
+struct Move {
+  MoveKind kind = MoveKind::kX;
+  int target = 0;
+  // CNOT fields.
+  int control = -1;
+  bool control_positive = true;
+  // Rotation fields.
+  std::vector<ControlLiteral> controls;
+  double theta = 0.0;
+
+  std::int64_t cost = 0;
+
+  /// The gate realizing this arc in the forward (same) direction.
+  Gate to_gate() const;
+  std::string to_string() const;
+};
+
+struct MoveGenOptions {
+  /// Maximum rotation controls; -1 means num_qubits - 1.
+  int max_controls = -1;
+  /// Emit zero-cost arcs (X moves and uncontrolled rotations). Required
+  /// when the search runs without canonicalization, which otherwise
+  /// absorbs all zero-cost transitions into the equivalence classes.
+  bool include_zero_cost = false;
+  /// Full rotation-candidate enumeration while the lightest affected group
+  /// carries at most this many slots; heavier groups use the structured
+  /// candidate set (merges, mirror, other groups' merge angles). All the
+  /// paper's uniform benchmarks stay far below this cap, so their searches
+  /// are exhaustive; only the workflow's heavy-count tails use the
+  /// structured fallback.
+  std::uint64_t full_candidate_cap = 4096;
+  /// Optional coupling graph: arc costs become routed CNOT costs
+  /// (CouplingGraph::routed_cnot_cost / routed_rotation_cost) instead of
+  /// the all-to-all Table-I model. Not owned.
+  const CouplingGraph* coupling = nullptr;
+};
+
+/// Enumerate all arcs leaving `state`.
+std::vector<Move> enumerate_moves(const SlotState& state,
+                                  const MoveGenOptions& options);
+
+/// Apply an arc; asserts the arc is valid for `state`.
+SlotState apply_move(const SlotState& state, const Move& move);
+
+}  // namespace qsp

@@ -1,0 +1,187 @@
+#include "core/slot_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace qsp {
+
+SlotState::SlotState(int num_qubits, std::vector<SlotEntry> entries)
+    : num_qubits_(num_qubits) {
+  if (num_qubits < 1 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("SlotState: qubit count out of range");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SlotEntry& a, const SlotEntry& b) {
+              return a.index < b.index;
+            });
+  entries_.reserve(entries.size());
+  for (const SlotEntry& e : entries) {
+    if ((e.index >> num_qubits_) != 0) {
+      throw std::invalid_argument("SlotState: index exceeds register");
+    }
+    if (e.count == 0) continue;
+    if (!entries_.empty() && entries_.back().index == e.index) {
+      entries_.back().count += e.count;
+    } else {
+      entries_.push_back(e);
+    }
+    total_ += e.count;
+  }
+  if (entries_.empty()) {
+    throw std::invalid_argument("SlotState: no slots");
+  }
+}
+
+SlotState SlotState::from_indices(int num_qubits,
+                                  const std::vector<BasisIndex>& slots) {
+  std::vector<SlotEntry> entries;
+  entries.reserve(slots.size());
+  for (const BasisIndex x : slots) entries.push_back(SlotEntry{x, 1});
+  return SlotState(num_qubits, std::move(entries));
+}
+
+SlotState SlotState::ground(int num_qubits, std::uint32_t total) {
+  return SlotState(num_qubits, {SlotEntry{0, total}});
+}
+
+std::optional<SlotState> SlotState::from_state(const QuantumState& state,
+                                               std::uint32_t max_total) {
+  const auto& terms = state.terms();
+  for (const Term& t : terms) {
+    if (t.amplitude < 0) return std::nullopt;
+  }
+  const auto m0 = static_cast<std::uint32_t>(state.cardinality());
+  for (std::uint64_t m = m0; m <= max_total; ++m) {
+    std::vector<SlotEntry> entries;
+    entries.reserve(terms.size());
+    bool ok = true;
+    std::uint64_t used = 0;
+    for (const Term& t : terms) {
+      const double exact = t.amplitude * t.amplitude * static_cast<double>(m);
+      const auto count = static_cast<std::uint64_t>(std::llround(exact));
+      if (count < 1 || std::abs(exact - static_cast<double>(count)) > 1e-6) {
+        ok = false;
+        break;
+      }
+      used += count;
+      entries.push_back(SlotEntry{t.index, static_cast<std::uint32_t>(count)});
+    }
+    if (ok && used == m) {
+      return SlotState(state.num_qubits(), std::move(entries));
+    }
+  }
+  return std::nullopt;
+}
+
+QuantumState SlotState::to_state() const {
+  std::vector<Term> terms;
+  terms.reserve(entries_.size());
+  const double m = static_cast<double>(total_);
+  for (const SlotEntry& e : entries_) {
+    terms.push_back(Term{e.index, std::sqrt(static_cast<double>(e.count) / m)});
+  }
+  return QuantumState(num_qubits_, std::move(terms));
+}
+
+bool SlotState::is_ground() const {
+  return entries_.size() == 1 && entries_[0].index == 0;
+}
+
+SlotState SlotState::with_x(int target) const {
+  QSP_ASSERT(target >= 0 && target < num_qubits_);
+  std::vector<SlotEntry> out(entries_);
+  for (SlotEntry& e : out) e.index = flip_bit(e.index, target);
+  return SlotState(num_qubits_, std::move(out));
+}
+
+SlotState SlotState::with_cnot(int control, bool positive,
+                               int target) const {
+  QSP_ASSERT(control >= 0 && control < num_qubits_ && control != target);
+  QSP_ASSERT(target >= 0 && target < num_qubits_);
+  const int want = positive ? 1 : 0;
+  std::vector<SlotEntry> out(entries_);
+  for (SlotEntry& e : out) {
+    if (get_bit(e.index, control) == want) e.index = flip_bit(e.index, target);
+  }
+  return SlotState(num_qubits_, std::move(out));
+}
+
+SlotState SlotState::with_permutation(const std::vector<int>& perm) const {
+  QSP_ASSERT(static_cast<int>(perm.size()) == num_qubits_);
+  std::vector<SlotEntry> out(entries_);
+  for (SlotEntry& e : out) e.index = permute_bits(e.index, perm);
+  return SlotState(num_qubits_, std::move(out));
+}
+
+SlotState SlotState::with_translation(BasisIndex mask) const {
+  QSP_ASSERT((mask >> num_qubits_) == 0);
+  std::vector<SlotEntry> out(entries_);
+  for (SlotEntry& e : out) e.index ^= mask;
+  return SlotState(num_qubits_, std::move(out));
+}
+
+bool SlotState::qubit_constant(int qubit, int* value) const {
+  QSP_ASSERT(qubit >= 0 && qubit < num_qubits_);
+  const int first = get_bit(entries_.front().index, qubit);
+  for (const SlotEntry& e : entries_) {
+    if (get_bit(e.index, qubit) != first) return false;
+  }
+  if (value != nullptr) *value = first;
+  return true;
+}
+
+bool SlotState::qubit_separable(int qubit) const {
+  QSP_ASSERT(qubit >= 0 && qubit < num_qubits_);
+  // Group entries by rest-index (bit `qubit` cleared); separable iff the
+  // count ratios k_r/j_r agree across groups (cross-multiplication test).
+  std::map<BasisIndex, std::pair<std::uint64_t, std::uint64_t>> groups;
+  const BasisIndex bit = BasisIndex{1} << qubit;
+  for (const SlotEntry& e : entries_) {
+    auto& [j, k] = groups[e.index & ~bit];
+    ((e.index & bit) == 0 ? j : k) += e.count;
+  }
+  const auto [j0, k0] = groups.begin()->second;
+  for (const auto& [rest, jk] : groups) {
+    // Use long double to avoid overflow for very large counts; counts are
+    // bounded by 2^32 so the products fit in 128 bits -> compare via
+    // __int128 on supported platforms, long double otherwise.
+    const unsigned __int128 lhs =
+        static_cast<unsigned __int128>(jk.second) * j0;
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(k0) * jk.first;
+    if (lhs != rhs) return false;
+  }
+  return true;
+}
+
+std::size_t SlotState::hash() const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(num_qubits_));
+  for (const SlotEntry& e : entries_) {
+    mix((static_cast<std::uint64_t>(e.index) << 32) | e.count);
+  }
+  return h;
+}
+
+std::string SlotState::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << to_bitstring(entries_[i].index, num_qubits_);
+    if (entries_[i].count != 1) os << "x" << entries_[i].count;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace qsp

@@ -1,0 +1,100 @@
+#pragma once
+// Slot encoding of quantum states for the exact-synthesis search (paper
+// Sections IV-B and VI-D). A state of total weight m is represented by m
+// *slots* of fixed weight 1/sqrt(m); amplitude-preserving transitions only
+// relabel slot indices, and duplicated indices encode merged amplitudes
+// c = sqrt(count/m). We store the run-length form: sorted (index, count)
+// entries, so all operations scale with the cardinality (number of distinct
+// indices), not with m. The paper's n*m-bit encoding is the special case
+// where every count is 1.
+//
+// The encoding covers every state whose squared amplitudes are integer
+// multiples of 1/m for some m, which includes all uniform benchmark
+// families of the paper and every state the workflow's reductions produce
+// from them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "state/quantum_state.hpp"
+#include "util/bitops.hpp"
+
+namespace qsp {
+
+struct SlotEntry {
+  BasisIndex index = 0;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const SlotEntry&, const SlotEntry&) = default;
+};
+
+class SlotState {
+ public:
+  /// Build from (index, count) entries; merges duplicates, drops zero
+  /// counts, sorts by index. Throws on empty support or bad indices.
+  SlotState(int num_qubits, std::vector<SlotEntry> entries);
+
+  /// Build from a flat list of slot indices (count 1 each).
+  static SlotState from_indices(int num_qubits,
+                                const std::vector<BasisIndex>& slots);
+
+  /// Ground state carrying `total` slots on index 0.
+  static SlotState ground(int num_qubits, std::uint32_t total);
+
+  /// Decompose a sparse state into slots: find the smallest M <= max_total
+  /// with amplitude(x)^2 ~= count_x / M for positive integers count_x.
+  /// Returns nullopt for states with negative amplitudes or no rational
+  /// structure within the budget.
+  static std::optional<SlotState> from_state(const QuantumState& state,
+                                             std::uint32_t max_total = 1u
+                                                                       << 20);
+
+  /// Merged sparse view: amplitude(x) = sqrt(count_x / m).
+  QuantumState to_state() const;
+
+  int num_qubits() const { return num_qubits_; }
+  /// Total slot count m (invariant along all transitions).
+  std::uint64_t total() const { return total_; }
+  /// Number of distinct indices (the quantum state's cardinality).
+  int cardinality() const { return static_cast<int>(entries_.size()); }
+  const std::vector<SlotEntry>& entries() const { return entries_; }
+
+  /// True if the only index is 0.
+  bool is_ground() const;
+
+  /// X on qubit t: flip bit t of every index.
+  SlotState with_x(int target) const;
+
+  /// CNOT: flip bit `target` of entries whose `control` bit equals
+  /// `positive`.
+  SlotState with_cnot(int control, bool positive, int target) const;
+
+  /// Relabel via a qubit permutation: bit perm[q] of the new index is bit q
+  /// of the old one.
+  SlotState with_permutation(const std::vector<int>& perm) const;
+
+  /// Translate all indices by XOR with `mask` (a layer of X gates).
+  SlotState with_translation(BasisIndex mask) const;
+
+  /// True if qubit q has the same value in every entry (value via
+  /// out-param when non-null).
+  bool qubit_constant(int qubit, int* value = nullptr) const;
+
+  /// True if qubit q is separable: constant, or each rest-group r carries
+  /// counts (j_r, k_r) with a common ratio (exact cross-multiplication).
+  bool qubit_separable(int qubit) const;
+
+  std::size_t hash() const;
+  std::string to_string() const;
+
+  friend bool operator==(const SlotState&, const SlotState&) = default;
+
+ private:
+  int num_qubits_ = 1;
+  std::uint64_t total_ = 0;
+  std::vector<SlotEntry> entries_;  // ascending by index, unique
+};
+
+}  // namespace qsp

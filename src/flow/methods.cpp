@@ -1,0 +1,85 @@
+#include "flow/methods.hpp"
+
+#include "circuit/lowering.hpp"
+#include "circuit/optimizer.hpp"
+#include "prep/hybrid.hpp"
+#include "prep/mflow.hpp"
+#include "prep/nflow.hpp"
+#include "util/timer.hpp"
+
+namespace qsp {
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kMFlow:
+      return "m-flow";
+    case Method::kNFlow:
+      return "n-flow";
+    case Method::kHybrid:
+      return "hybrid";
+    case Method::kOurs:
+      return "ours";
+  }
+  return "?";
+}
+
+MethodRun run_method(Method method, const QuantumState& target,
+                     double time_budget_seconds,
+                     const WorkflowOptions& workflow_options) {
+  MethodRun run;
+  const Timer timer;
+  switch (method) {
+    case Method::kMFlow: {
+      MFlowOptions options;
+      options.strategy = MFlowOptions::PairStrategy::kGreedyFirst;
+      options.time_budget_seconds = time_budget_seconds;
+      const MFlowResult res = mflow_prepare(target, options);
+      run.timed_out = res.timed_out;
+      if (!res.timed_out) {
+        run.circuit = res.circuit;
+        run.cnots = count_cnots_after_lowering(res.circuit, {});
+        run.ok = true;
+      }
+      break;
+    }
+    case Method::kNFlow: {
+      const Circuit circuit = nflow_prepare(target);
+      run.circuit = circuit;
+      run.cnots = count_cnots_after_lowering(circuit, {});
+      run.ok = true;
+      break;
+    }
+    case Method::kHybrid: {
+      const HybridResult res = hybrid_prepare(target, time_budget_seconds);
+      run.timed_out = res.timed_out;
+      if (!res.timed_out) {
+        run.circuit = res.circuit;
+        run.cnots = res.accounted_cnots;
+        run.ok = true;
+      }
+      break;
+    }
+    case Method::kOurs: {
+      WorkflowOptions options = workflow_options;
+      if (time_budget_seconds > 0.0) {
+        options.time_budget_seconds = time_budget_seconds;
+      }
+      const Solver solver(options);
+      const WorkflowResult res = solver.prepare(target);
+      run.timed_out = res.timed_out;
+      if (res.found) {
+        LoweringOptions lowering;
+        lowering.elide_zero_rotations = true;
+        // Peephole cleanup of the stitched stages before counting.
+        run.circuit = optimize(res.circuit);
+        run.cnots = count_cnots_after_lowering(run.circuit, lowering);
+        run.ok = true;
+      }
+      break;
+    }
+  }
+  run.seconds = timer.seconds();
+  return run;
+}
+
+}  // namespace qsp

@@ -1,0 +1,41 @@
+#pragma once
+// Uniform method registry used by the evaluation harness: runs one of the
+// four compared methods on a target and reports the CNOT count under the
+// paper's accounting (map to {U(2), CNOT}, Section VI-A).
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "flow/solver.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp {
+
+enum class Method {
+  kMFlow,   ///< cardinality reduction baseline [15]
+  kNFlow,   ///< qubit reduction baseline [13]
+  kHybrid,  ///< one-ancilla DD surrogate [16]
+  kOurs,    ///< Fig. 5 workflow with the exact kernel
+};
+
+std::string method_name(Method method);
+
+struct MethodRun {
+  bool ok = false;
+  bool timed_out = false;
+  std::int64_t cnots = -1;
+  double seconds = 0.0;
+  Circuit circuit{1};
+};
+
+/// Run `method` on `target` with an optional per-instance time budget.
+/// Baselines are costed with the plain Table-I lowering (reproducing the
+/// published columns); "ours" applies the zero-angle-eliding lowering,
+/// which is part of this work's mapping; the hybrid uses its one-ancilla
+/// linear-cost accounting (see prep/hybrid.hpp).
+MethodRun run_method(Method method, const QuantumState& target,
+                     double time_budget_seconds = 0.0,
+                     const WorkflowOptions& workflow_options = {});
+
+}  // namespace qsp

@@ -1,0 +1,198 @@
+#include "flow/solver.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "circuit/lowering.hpp"
+#include "core/canonical.hpp"
+#include "prep/nflow.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace qsp {
+namespace {
+
+/// Flip an unobservable global -1 so slot decomposition can proceed.
+QuantumState normalize_global_sign(const QuantumState& state) {
+  const bool all_negative =
+      std::all_of(state.terms().begin(), state.terms().end(),
+                  [](const Term& t) { return t.amplitude < 0; });
+  if (!all_negative) return state;
+  std::vector<Term> terms = state.terms();
+  for (Term& t : terms) t.amplitude = -t.amplitude;
+  return QuantumState(state.num_qubits(), std::move(terms));
+}
+
+}  // namespace
+
+Solver::Solver(WorkflowOptions options) : options_(std::move(options)) {}
+
+Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
+                                       bool* used_exact) const {
+  if (used_exact != nullptr) *used_exact = false;
+  const QuantumState target = normalize_global_sign(reduced);
+  const auto slot = SlotState::from_state(target);
+  if (!slot.has_value()) {
+    // Signed or irrational tail: finish with cost-aware cardinality
+    // reduction, which handles arbitrary real amplitudes.
+    MFlowOptions fallback = options_.mflow;
+    fallback.strategy = MFlowOptions::PairStrategy::kCheapest;
+    const MFlowResult res = mflow_prepare(target, fallback);
+    return res.circuit;
+  }
+
+  SlotState peeled = *slot;
+  const std::vector<Gate> peel = free_peel_gates(peeled);
+
+  Circuit prep(target.num_qubits());
+  if (!peeled.is_ground()) {
+    // Extract the entangled core onto a narrow register.
+    std::vector<int> active;
+    for (int q = 0; q < peeled.num_qubits(); ++q) {
+      if (!peeled.qubit_constant(q)) active.push_back(q);
+    }
+    QSP_ASSERT(!active.empty());
+    std::vector<SlotEntry> narrow_entries;
+    narrow_entries.reserve(peeled.entries().size());
+    for (const SlotEntry& e : peeled.entries()) {
+      BasisIndex idx = 0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (get_bit(e.index, active[i]) != 0) {
+          idx |= BasisIndex{1} << i;
+        }
+      }
+      narrow_entries.push_back(SlotEntry{idx, e.count});
+    }
+    const SlotState narrow(static_cast<int>(active.size()),
+                           std::move(narrow_entries));
+    const ExactSynthesizer exact(options_.exact);
+    const SynthesisResult res = exact.synthesize(narrow);
+    if (!res.found) {
+      MFlowOptions fallback = options_.mflow;
+      fallback.strategy = MFlowOptions::PairStrategy::kCheapest;
+      return mflow_prepare(target, fallback).circuit;
+    }
+    for (const Gate& g : res.circuit.gates()) {
+      prep.append(g.remapped(active));
+    }
+    if (used_exact != nullptr) *used_exact = true;
+  }
+  // Undo the peel: peel maps `target` to the peeled form, so its adjoint
+  // maps the prepared peeled state back to `target`.
+  Circuit peel_circuit(target.num_qubits());
+  for (const Gate& g : peel) peel_circuit.append(g);
+  prep.append(peel_circuit.adjoint());
+  return prep;
+}
+
+WorkflowResult Solver::prepare(const QuantumState& target) const {
+  const Deadline deadline(options_.time_budget_seconds);
+  WorkflowResult result;
+  const int n = target.num_qubits();
+  const auto m = static_cast<std::uint64_t>(target.cardinality());
+  result.sparse_path =
+      static_cast<std::uint64_t>(n) * m < (std::uint64_t{1} << n);
+
+  auto fits_thresholds = [this](const QuantumState& state) {
+    const QuantumState normalized = normalize_global_sign(state);
+    const auto slot = SlotState::from_state(normalized);
+    if (!slot.has_value()) return false;
+    if (slot->cardinality() > options_.exact_max_cardinality) return false;
+    const SlotState compressed = compress_free(*slot);
+    int active = 0;
+    for (int q = 0; q < compressed.num_qubits(); ++q) {
+      if (!compressed.qubit_constant(q)) ++active;
+    }
+    return active <= options_.exact_max_qubits;
+  };
+
+  if (fits_thresholds(target)) {
+    result.circuit = prepare_via_exact_tail(target, &result.used_exact_tail);
+    result.found = true;
+    return result;
+  }
+
+  auto sparse_prepare = [&](bool* used_exact) -> std::optional<Circuit> {
+    MFlowOptions mflow = options_.mflow;
+    mflow.time_budget_seconds = options_.time_budget_seconds;
+    const MFlowReduction reduction =
+        mflow_reduce(target, fits_thresholds, mflow);
+    if (reduction.timed_out) return std::nullopt;
+    Circuit circuit = prepare_via_exact_tail(reduction.reduced, used_exact);
+    Circuit forward(n);
+    for (const Gate& g : reduction.forward_gates) forward.append(g);
+    circuit.append(forward.adjoint());
+    return circuit;
+  };
+
+  if (result.sparse_path) {
+    // Sparse: cardinality reduction until the compressed state fits.
+    auto circuit = sparse_prepare(&result.used_exact_tail);
+    if (!circuit.has_value()) {
+      result.timed_out = true;
+      return result;
+    }
+    result.circuit = std::move(*circuit);
+    result.found = true;
+    return result;
+  }
+
+  // Dense: qubit reduction. The multiplexor stages handle qubits
+  // exact_max_qubits..n-1; the exact kernel prepares the marginal when it
+  // wins over the marginal's own multiplexor stages (the reductions give
+  // the tail non-uniform counts, where the exact search is not always the
+  // cheaper realization).
+  const int t = std::min(options_.exact_max_qubits, n);
+  if (t < 1) {
+    // Exact tail disabled: plain qubit reduction.
+    result.circuit = nflow_prepare(target);
+    result.found = !deadline.expired();
+    result.timed_out = !result.found;
+    return result;
+  }
+  const QuantumState marginal = nflow_marginal(target, t);
+  LoweringOptions elide;
+  elide.elide_zero_rotations = true;
+  bool used_exact = false;
+  Circuit tail = nflow_prepare(marginal);
+  // Count-heavy marginals are generic positive states where the stages
+  // are already near-optimal: only pay for the exact attempt when the
+  // slot total is small enough that it can plausibly win.
+  const auto marginal_slots = SlotState::from_state(marginal);
+  if (marginal_slots.has_value() &&
+      marginal_slots->total() <= options_.dense_tail_total_cap) {
+    bool exact_used = false;
+    Circuit exact_tail = prepare_via_exact_tail(marginal, &exact_used);
+    if (exact_used && count_cnots_after_lowering(exact_tail, elide) <
+                          count_cnots_after_lowering(tail, elide)) {
+      tail = std::move(exact_tail);
+      used_exact = true;
+    }
+  }
+  result.used_exact_tail = used_exact;
+  Circuit circuit(n);
+  circuit.append(tail);
+  circuit.append(nflow_stages(target, t));
+
+  // Borderline densities: the sparse machinery sometimes wins outright
+  // (e.g. symmetric states like Dicke whose n*m is just above 2^n).
+  if (target.cardinality() <= options_.dual_path_max_cardinality) {
+    bool sparse_exact = false;
+    const auto alt = sparse_prepare(&sparse_exact);
+    if (alt.has_value() && count_cnots_after_lowering(*alt, elide) <
+                               count_cnots_after_lowering(circuit, elide)) {
+      circuit = *alt;
+      result.used_exact_tail = sparse_exact;
+    }
+  }
+  if (deadline.expired()) {
+    result.timed_out = true;
+    return result;
+  }
+  result.circuit = std::move(circuit);
+  result.found = true;
+  return result;
+}
+
+}  // namespace qsp

@@ -1,0 +1,80 @@
+#pragma once
+// The scalable workflow of paper Fig. 5: dispatch on sparsity, reduce with
+// the appropriate divide-and-conquer method until the state fits the exact
+// synthesis thresholds (n_eff <= 4 active qubits and cardinality <= 16 by
+// default), then finish with the exact kernel.
+
+#include "circuit/circuit.hpp"
+#include "core/exact_synthesizer.hpp"
+#include "prep/mflow.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp {
+
+struct WorkflowOptions {
+  /// Exact tail activates when the compressed state has at most this many
+  /// entangled (non-separable) qubits...
+  int exact_max_qubits = 4;
+  /// ...and at most this cardinality.
+  int exact_max_cardinality = 16;
+  /// Budgets for the exact tail searches.
+  ExactSynthesisOptions exact;
+  /// Pair-selection strategy for the sparse path's cardinality reduction;
+  /// the workflow defaults to the cost-aware variant.
+  MFlowOptions mflow;
+  /// Dense path: only attempt the exact tail while the marginal's slot
+  /// total stays below this (count-heavy marginals are generic positive
+  /// states where the multiplexor stages are already near-optimal).
+  std::uint64_t dense_tail_total_cap = 128;
+  /// Dense path: for borderline densities (cardinality at most this), run
+  /// the sparse path as well and keep the cheaper circuit.
+  int dual_path_max_cardinality = 64;
+  double time_budget_seconds = 0.0;
+
+  WorkflowOptions() {
+    mflow.strategy = MFlowOptions::PairStrategy::kCheapest;
+    // Tails are tiny (<= 4 entangled qubits); keep budgets tight so the
+    // workflow stays fast even when called thousands of times, and cap
+    // the rotation-candidate enumeration: the dense path hands the tail
+    // count-heavy marginals where full enumeration explodes.
+    exact.astar.node_budget = 400'000;
+    exact.astar.time_budget_seconds = 1.0;
+    exact.astar.full_candidate_cap = 64;
+    exact.beam.beam_width = 128;
+    exact.beam.max_controls = 3;
+    exact.beam.time_budget_seconds = 0.5;
+    exact.beam.full_candidate_cap = 64;
+  }
+};
+
+struct WorkflowResult {
+  bool found = false;
+  bool timed_out = false;
+  /// True if the state went down the sparse path (n*m < 2^n).
+  bool sparse_path = false;
+  /// True if the exact kernel produced the tail of the circuit.
+  bool used_exact_tail = false;
+  Circuit circuit{1};
+};
+
+class Solver {
+ public:
+  explicit Solver(WorkflowOptions options = {});
+
+  /// Prepare `target` from |0...0> (Fig. 5 workflow).
+  WorkflowResult prepare(const QuantumState& target) const;
+
+  /// Prepare a state that already fits (or nearly fits) the exact
+  /// thresholds: peel separable structure, synthesize the entangled core
+  /// exactly, re-embed. Falls back to cardinality reduction when the state
+  /// has no slot decomposition. Exposed for tests and benches.
+  Circuit prepare_via_exact_tail(const QuantumState& reduced,
+                                 bool* used_exact = nullptr) const;
+
+  const WorkflowOptions& options() const { return options_; }
+
+ private:
+  WorkflowOptions options_;
+};
+
+}  // namespace qsp

@@ -1,0 +1,65 @@
+#pragma once
+// Complex-amplitude states for the phase-oracle extension. The paper
+// (Section VI-A) notes that "employing a phase oracle, we can prepare
+// arbitrary states with complex amplitudes" on top of the real-amplitude
+// pipeline; this module provides the state type and the decomposition
+// |psi> = D(phi) |mag>, where |mag> has the magnitudes (real, positive)
+// and D is a diagonal phase oracle.
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "state/quantum_state.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+
+struct ComplexTerm {
+  BasisIndex index = 0;
+  std::complex<double> amplitude;
+
+  friend bool operator==(const ComplexTerm&, const ComplexTerm&) = default;
+};
+
+/// An n-qubit pure state with complex amplitudes; sorted sparse terms,
+/// normalized, duplicate indices merged (amplitudes add coherently).
+class ComplexState {
+ public:
+  static constexpr double kAmplitudeEpsilon = 1e-12;
+
+  ComplexState(int num_qubits, std::vector<ComplexTerm> terms);
+
+  /// Lift a real state (zero phases).
+  explicit ComplexState(const QuantumState& real);
+
+  int num_qubits() const { return num_qubits_; }
+  int cardinality() const { return static_cast<int>(terms_.size()); }
+  const std::vector<ComplexTerm>& terms() const { return terms_; }
+
+  std::complex<double> amplitude(BasisIndex x) const;
+
+  /// The magnitude state |mag>: real positive amplitudes |a_x|.
+  QuantumState magnitudes() const;
+
+  /// Phase arg(a_x) per support index, aligned with terms().
+  std::vector<double> phases() const;
+
+  /// True if every amplitude is real (within tol), up to a global phase.
+  bool is_real(double tol = 1e-9) const;
+
+  /// |<this|other>|^2.
+  double fidelity(const ComplexState& other) const;
+
+  std::string to_string() const;
+
+ private:
+  int num_qubits_;
+  std::vector<ComplexTerm> terms_;
+};
+
+/// Random complex state with m distinct support indices, uniform random
+/// phases and magnitudes bounded away from zero.
+ComplexState make_random_complex(int num_qubits, int m, Rng& rng);
+
+}  // namespace qsp

@@ -1,0 +1,157 @@
+#include "phase/complex_statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace qsp {
+
+ComplexStatevector::ComplexStatevector(int num_qubits)
+    : num_qubits_(num_qubits) {
+  if (num_qubits < 1 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument(
+        "ComplexStatevector: qubit count out of range");
+  }
+  amp_.assign(std::size_t{1} << num_qubits, {0.0, 0.0});
+  amp_[0] = {1.0, 0.0};
+}
+
+ComplexStatevector::ComplexStatevector(const ComplexState& state)
+    : num_qubits_(state.num_qubits()) {
+  amp_.assign(std::size_t{1} << num_qubits_, {0.0, 0.0});
+  for (const ComplexTerm& t : state.terms()) amp_[t.index] = t.amplitude;
+}
+
+void ComplexStatevector::apply_pairs(const Gate& gate, bool z_axis) {
+  // Pattern handling covers Ry/Rz (no controls), CRy/MCRy (fixed
+  // pattern) and UCRy/UCRz (angle table) uniformly.
+  const auto& controls = gate.controls();
+  const bool is_uc = gate.kind() == GateKind::kUCRy ||
+                     gate.kind() == GateKind::kUCRz;
+  BasisIndex mask = 0;
+  BasisIndex value = 0;
+  if (!is_uc) {
+    for (const auto& c : controls) {
+      mask |= BasisIndex{1} << c.qubit;
+      if (c.positive) value |= BasisIndex{1} << c.qubit;
+    }
+  }
+  const std::size_t stride = std::size_t{1} << gate.target();
+  const std::size_t size = amp_.size();
+  for (std::size_t base = 0; base < size; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      double theta = gate.theta();
+      if (is_uc) {
+        std::uint32_t pattern = 0;
+        for (std::size_t b = 0; b < controls.size(); ++b) {
+          if (get_bit(static_cast<BasisIndex>(i), controls[b].qubit) != 0) {
+            pattern |= std::uint32_t{1} << b;
+          }
+        }
+        theta = gate.angles()[pattern];
+      } else if ((static_cast<BasisIndex>(i) & mask) != value) {
+        continue;
+      }
+      const std::complex<double> a = amp_[i];
+      const std::complex<double> b = amp_[i + stride];
+      if (z_axis) {
+        // Rz(theta) = diag(e^{-i theta/2}, e^{+i theta/2}).
+        amp_[i] = a * std::polar(1.0, -theta / 2);
+        amp_[i + stride] = b * std::polar(1.0, theta / 2);
+      } else {
+        const double co = std::cos(theta / 2);
+        const double si = std::sin(theta / 2);
+        amp_[i] = co * a - si * b;
+        amp_[i + stride] = si * a + co * b;
+      }
+    }
+  }
+}
+
+void ComplexStatevector::apply(const Gate& gate) {
+  if (gate.max_qubit() >= num_qubits_) {
+    throw std::invalid_argument(
+        "ComplexStatevector::apply: gate exceeds register");
+  }
+  switch (gate.kind()) {
+    case GateKind::kX: {
+      const std::size_t stride = std::size_t{1} << gate.target();
+      for (std::size_t base = 0; base < amp_.size(); base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+          std::swap(amp_[i], amp_[i + stride]);
+        }
+      }
+      break;
+    }
+    case GateKind::kCNOT: {
+      const ControlLiteral c = gate.controls()[0];
+      const BasisIndex cbit = BasisIndex{1} << c.qubit;
+      const BasisIndex want = c.positive ? cbit : 0;
+      const std::size_t stride = std::size_t{1} << gate.target();
+      for (std::size_t base = 0; base < amp_.size(); base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+          if ((static_cast<BasisIndex>(i) & cbit) == want) {
+            std::swap(amp_[i], amp_[i + stride]);
+          }
+        }
+      }
+      break;
+    }
+    case GateKind::kRy:
+    case GateKind::kCRy:
+    case GateKind::kMCRy:
+    case GateKind::kUCRy:
+      apply_pairs(gate, /*z_axis=*/false);
+      break;
+    case GateKind::kRz:
+    case GateKind::kUCRz:
+      apply_pairs(gate, /*z_axis=*/true);
+      break;
+  }
+}
+
+void ComplexStatevector::apply(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_) {
+    throw std::invalid_argument(
+        "ComplexStatevector::apply: register too narrow");
+  }
+  for (const Gate& g : circuit.gates()) apply(g);
+}
+
+double ComplexStatevector::norm() const {
+  double acc = 0.0;
+  for (const auto& a : amp_) acc += std::norm(a);
+  return std::sqrt(acc);
+}
+
+double ComplexStatevector::fidelity(const ComplexState& state) const {
+  QSP_ASSERT(state.num_qubits() <= num_qubits_);
+  std::complex<double> ip{0.0, 0.0};
+  for (const ComplexTerm& t : state.terms()) {
+    ip += std::conj(t.amplitude) * amp_[t.index];
+  }
+  return std::norm(ip);
+}
+
+ComplexState ComplexStatevector::to_state() const {
+  std::vector<ComplexTerm> terms;
+  for (std::size_t i = 0; i < amp_.size(); ++i) {
+    if (std::abs(amp_[i]) > ComplexState::kAmplitudeEpsilon) {
+      terms.push_back(ComplexTerm{static_cast<BasisIndex>(i), amp_[i]});
+    }
+  }
+  return ComplexState(num_qubits_, std::move(terms));
+}
+
+bool verify_complex_preparation(const Circuit& circuit,
+                                const ComplexState& target,
+                                double tolerance) {
+  if (circuit.num_qubits() < target.num_qubits()) return false;
+  ComplexStatevector sv(circuit.num_qubits());
+  sv.apply(circuit);
+  return sv.fidelity(target) >= 1.0 - tolerance;
+}
+
+}  // namespace qsp

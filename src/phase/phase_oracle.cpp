@@ -1,0 +1,82 @@
+#include "phase/phase_oracle.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace qsp {
+
+Circuit synthesize_phase_oracle(int num_qubits,
+                                const std::vector<double>& table) {
+  if (num_qubits < 1 || num_qubits > 20) {
+    throw std::invalid_argument(
+        "synthesize_phase_oracle: qubit count out of range");
+  }
+  if (table.size() != (std::size_t{1} << num_qubits)) {
+    throw std::invalid_argument("synthesize_phase_oracle: table size");
+  }
+  Circuit circuit(num_qubits);
+  std::vector<double> phi = table;
+  // Peel one qubit per stage, top down: the UCRz on qubit k conditioned
+  // on the lower bits absorbs the residual phase's dependence on bit k,
+  // leaving a table over one fewer qubit:
+  //   theta_p = phi[p | 2^k] - phi[p],  phi'[p] = (phi[p] + phi[p|2^k])/2.
+  for (int k = num_qubits - 1; k >= 1; --k) {
+    const std::size_t half = std::size_t{1} << k;
+    std::vector<double> thetas(half);
+    for (std::size_t p = 0; p < half; ++p) {
+      thetas[p] = phi[p | half] - phi[p];
+      phi[p] = 0.5 * (phi[p] + phi[p | half]);
+    }
+    phi.resize(half);
+    std::vector<int> controls(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) controls[static_cast<std::size_t>(c)] = c;
+    circuit.append(Gate::ucrz(controls, k, std::move(thetas)));
+  }
+  circuit.append(Gate::rz(0, phi[1] - phi[0]));
+  // The remaining (phi[0] + phi[1]) / 2 is a global phase.
+  return circuit;
+}
+
+Circuit synthesize_phase_oracle(
+    int num_qubits,
+    const std::vector<std::pair<BasisIndex, double>>& phases) {
+  if (num_qubits < 1 || num_qubits > 20) {
+    throw std::invalid_argument(
+        "synthesize_phase_oracle: qubit count out of range");
+  }
+  std::vector<double> table(std::size_t{1} << num_qubits, 0.0);
+  for (const auto& [index, phase] : phases) {
+    if ((index >> num_qubits) != 0) {
+      throw std::invalid_argument("synthesize_phase_oracle: bad index");
+    }
+    table[index] = phase;
+  }
+  return synthesize_phase_oracle(num_qubits, table);
+}
+
+ComplexPrepResult prepare_complex(const ComplexState& target,
+                                  const WorkflowOptions& options) {
+  ComplexPrepResult result;
+  const Solver solver(options);
+  const WorkflowResult mag = solver.prepare(target.magnitudes());
+  result.timed_out = mag.timed_out;
+  if (!mag.found) return result;
+
+  std::vector<std::pair<BasisIndex, double>> phases;
+  phases.reserve(target.terms().size());
+  const auto phase_values = target.phases();
+  for (std::size_t i = 0; i < target.terms().size(); ++i) {
+    phases.emplace_back(target.terms()[i].index, phase_values[i]);
+  }
+  // The magnitude circuit may carry an ancilla (hybrid fallback paths);
+  // the oracle acts on the target register only.
+  Circuit circuit(mag.circuit.num_qubits());
+  circuit.append(mag.circuit);
+  circuit.append(synthesize_phase_oracle(target.num_qubits(), phases));
+  result.circuit = std::move(circuit);
+  result.found = true;
+  return result;
+}
+
+}  // namespace qsp

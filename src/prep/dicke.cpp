@@ -1,0 +1,69 @@
+#include "prep/dicke.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace qsp {
+namespace {
+
+/// Two-qubit split gate G(theta): rotation in span{|01>, |10>} of qubits
+/// (a, b) with |01> -> cos(theta/2)|01> + sin(theta/2)|10>; fixes |00> and
+/// |11>. Realized as CNOT(a->b), CRy(theta, b->a), CNOT(a->b).
+void emit_split(Circuit& c, int a, int b, double theta) {
+  c.append(Gate::cnot(a, b));
+  c.append(Gate::cry(b, a, theta));
+  c.append(Gate::cnot(a, b));
+}
+
+/// Controlled split: same rotation, active only when qubit `ctrl` is |1>.
+void emit_controlled_split(Circuit& c, int a, int b, int ctrl, double theta) {
+  c.append(Gate::cnot(a, b));
+  c.append(Gate::mcry({ControlLiteral{b, true}, ControlLiteral{ctrl, true}},
+                      a, theta));
+  c.append(Gate::cnot(a, b));
+}
+
+/// Split & cyclic shift block SCS_{m,l} acting on qubits 0..m-1:
+/// maps |0^{m-j} 1^j> to sqrt(j/m)|0^{m-j}1^{j-1}>|1>_last +
+/// sqrt((m-j)/m) |0^{m-j-1}1^j 0>_last for every j <= l.
+void emit_scs(Circuit& c, int m, int l) {
+  // Gate (i): split between qubits m-2 and m-1 with cos = sqrt(1/m).
+  const double theta1 =
+      2.0 * std::acos(std::sqrt(1.0 / static_cast<double>(m)));
+  emit_split(c, m - 2, m - 1, theta1);
+  // Gates (ii)_j, j = 2..l: controlled splits moving the excitation
+  // farther left, with cos = sqrt(j/m).
+  for (int j = 2; j <= l; ++j) {
+    const double theta = 2.0 * std::acos(std::sqrt(
+                             static_cast<double>(j) / static_cast<double>(m)));
+    emit_controlled_split(c, m - 1 - j, m - 1, m - j, theta);
+  }
+}
+
+}  // namespace
+
+std::int64_t mukherjee_dicke_cnot_count(int n, int k) {
+  if (k < 1 || 2 * k > n) {
+    throw std::invalid_argument(
+        "mukherjee_dicke_cnot_count: requires 1 <= k <= n/2");
+  }
+  return std::int64_t{5} * n * k - std::int64_t{5} * k * k - 2 * n;
+}
+
+Circuit dicke_manual_circuit(int n, int k) {
+  if (n < 2 || k < 1 || k >= n) {
+    throw std::invalid_argument("dicke_manual_circuit: need 2<=n, 1<=k<n");
+  }
+  Circuit c(n);
+  // Input |0^{n-k} 1^k>: the k highest qubits carry the excitations.
+  for (int q = n - k; q < n; ++q) c.append(Gate::x(q));
+  // U_{n,k} = product of SCS blocks on shrinking prefixes.
+  for (int m = n; m >= 2; --m) {
+    emit_scs(c, m, std::min(k, m - 1));
+  }
+  return c;
+}
+
+}  // namespace qsp

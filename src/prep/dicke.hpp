@@ -1,0 +1,24 @@
+#pragma once
+// Manual Dicke-state designs (paper Section VI-B).
+//
+// * The CNOT-count formula of the best published manual design
+//   (Mukherjee et al., IEEE TQE 2020): 5nk - 5k^2 - 2n. Table IV's
+//   "Manual" column is this formula.
+// * An executable manual construction (Bartschi & Eidenbenz, FCT 2019):
+//   the split & cyclic shift (SCS) network, built from two-qubit splits
+//   (CNOT + CRy + CNOT) and their controlled three-qubit versions. This
+//   gives a real, verifiable manual-design artifact.
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace qsp {
+
+/// Mukherjee et al. CNOT count for |D^k_n>; requires 1 <= k <= n/2.
+std::int64_t mukherjee_dicke_cnot_count(int n, int k);
+
+/// Bartschi-Eidenbenz deterministic Dicke preparation circuit.
+Circuit dicke_manual_circuit(int n, int k);
+
+}  // namespace qsp

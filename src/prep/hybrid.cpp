@@ -1,0 +1,45 @@
+#include "prep/hybrid.hpp"
+
+#include <algorithm>
+
+#include "circuit/cost_model.hpp"
+#include "prep/mflow.hpp"
+
+namespace qsp {
+
+std::int64_t hybrid_gate_cost(const Gate& gate) {
+  const int c = gate.num_controls();
+  if (gate.kind() == GateKind::kMCRy && c >= 2) {
+    // One-ancilla linear-cost decomposition: 2(c-1) - 1 Toffoli-class
+    // gates at 6 CNOTs each, capped by the ancilla-free multiplexor.
+    const std::int64_t linear = 6 * (2 * static_cast<std::int64_t>(c) - 3);
+    return std::min(gate_cnot_cost(gate), linear);
+  }
+  return gate_cnot_cost(gate);
+}
+
+std::int64_t hybrid_cnot_count(const Circuit& circuit) {
+  std::int64_t total = 0;
+  for (const Gate& g : circuit.gates()) total += hybrid_gate_cost(g);
+  return total;
+}
+
+HybridResult hybrid_prepare(const QuantumState& target,
+                            double time_budget_seconds) {
+  MFlowOptions options;
+  options.strategy = MFlowOptions::PairStrategy::kPrefixAdjacent;
+  options.time_budget_seconds = time_budget_seconds;
+  const MFlowResult inner = mflow_prepare(target, options);
+
+  HybridResult result;
+  result.timed_out = inner.timed_out;
+  Circuit with_ancilla(target.num_qubits() + 1);
+  if (!inner.timed_out) {
+    with_ancilla.append(inner.circuit);
+    result.accounted_cnots = hybrid_cnot_count(with_ancilla);
+  }
+  result.circuit = std::move(with_ancilla);
+  return result;
+}
+
+}  // namespace qsp

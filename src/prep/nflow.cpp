@@ -1,0 +1,93 @@
+#include "prep/nflow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace qsp {
+namespace {
+
+/// Squared-amplitude mass per k-bit prefix (low k bits of the index).
+std::unordered_map<BasisIndex, double> prefix_weights(
+    const QuantumState& target, int k) {
+  std::unordered_map<BasisIndex, double> w;
+  const BasisIndex mask = (k >= 32) ? ~BasisIndex{0}
+                                    : ((BasisIndex{1} << k) - 1);
+  for (const Term& t : target.terms()) {
+    w[t.index & mask] += t.amplitude * t.amplitude;
+  }
+  return w;
+}
+
+/// Stage-k pattern angles: for each prefix p the rotation moving the
+/// branch mass onto its two children. The deepest stage sees the signed
+/// target amplitudes directly, so arbitrary sign patterns are prepared
+/// exactly (a global -1 being unobservable).
+std::vector<double> stage_angles(const QuantumState& target, int k) {
+  const int n = target.num_qubits();
+  std::vector<double> angles(std::size_t{1} << k, 0.0);
+  const BasisIndex bit = BasisIndex{1} << k;
+  if (k == n - 1) {
+    for (BasisIndex p = 0; p < (BasisIndex{1} << k); ++p) {
+      const double a0 = target.amplitude(p);
+      const double a1 = target.amplitude(p | bit);
+      if (a0 == 0.0 && a1 == 0.0) continue;
+      angles[p] = 2.0 * std::atan2(a1, a0);
+    }
+  } else {
+    const auto w = prefix_weights(target, k + 1);
+    for (BasisIndex p = 0; p < (BasisIndex{1} << k); ++p) {
+      const auto it0 = w.find(p);
+      const auto it1 = w.find(p | bit);
+      const double w0 = it0 == w.end() ? 0.0 : it0->second;
+      const double w1 = it1 == w.end() ? 0.0 : it1->second;
+      if (w0 == 0.0 && w1 == 0.0) continue;
+      angles[p] = 2.0 * std::atan2(std::sqrt(w1), std::sqrt(w0));
+    }
+  }
+  return angles;
+}
+
+}  // namespace
+
+Circuit nflow_stages(const QuantumState& target, int start_qubit) {
+  const int n = target.num_qubits();
+  if (start_qubit < 0 || start_qubit > n) {
+    throw std::invalid_argument("nflow_stages: start qubit out of range");
+  }
+  Circuit circuit(n);
+  for (int k = start_qubit; k < n; ++k) {
+    std::vector<double> angles = stage_angles(target, k);
+    if (k == 0) {
+      circuit.append(Gate::ry(0, angles[0]));
+      continue;
+    }
+    std::vector<int> controls(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) controls[static_cast<std::size_t>(c)] = c;
+    circuit.append(Gate::ucry(controls, k, std::move(angles)));
+  }
+  return circuit;
+}
+
+Circuit nflow_prepare(const QuantumState& target) {
+  return nflow_stages(target, 0);
+}
+
+QuantumState nflow_marginal(const QuantumState& target, int k) {
+  if (k < 1 || k > target.num_qubits()) {
+    throw std::invalid_argument("nflow_marginal: k out of range");
+  }
+  const auto w = prefix_weights(target, k);
+  std::vector<Term> terms;
+  terms.reserve(w.size());
+  for (const auto& [p, weight] : w) {
+    terms.push_back(Term{p, std::sqrt(weight)});
+  }
+  return QuantumState(k, std::move(terms));
+}
+
+}  // namespace qsp

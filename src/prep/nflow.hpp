@@ -1,0 +1,26 @@
+#pragma once
+// The qubit-reduction baseline ("n-flow", Mozafari et al. IWLS'19 /
+// Grover-Rudolph construction). Stage k applies a uniformly-controlled Ry
+// on qubit k conditioned on qubits 0..k-1, with angles derived from the
+// target's conditional amplitude tree. Prepares any real-amplitude state
+// exactly; the plain lowering of the multiplexor chain costs exactly
+// 2^n - 2 CNOTs, matching the published n-flow column of Table V.
+
+#include "circuit/circuit.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp {
+
+/// Full preparation circuit (stages 0 .. n-1).
+Circuit nflow_prepare(const QuantumState& target);
+
+/// Only stages `start_qubit` .. n-1 (used by the workflow: the marginal on
+/// qubits 0..start_qubit-1 is prepared by the exact tail first).
+Circuit nflow_stages(const QuantumState& target, int start_qubit);
+
+/// Marginal state on qubits 0..k-1: amplitude(p) = sqrt of the summed
+/// squared amplitudes of all indices extending prefix p. Always
+/// non-negative.
+QuantumState nflow_marginal(const QuantumState& target, int k);
+
+}  // namespace qsp

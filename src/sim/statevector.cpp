@@ -1,0 +1,158 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace qsp {
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 1 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("Statevector: qubit count out of range");
+  }
+  amp_.assign(std::size_t{1} << num_qubits, 0.0);
+  amp_[0] = 1.0;
+}
+
+Statevector::Statevector(const QuantumState& state)
+    : num_qubits_(state.num_qubits()), amp_(state.to_dense()) {}
+
+void Statevector::apply_x(int target) {
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t size = amp_.size();
+  for (std::size_t base = 0; base < size; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      std::swap(amp_[i], amp_[i + stride]);
+    }
+  }
+}
+
+void Statevector::apply_cnot(const ControlLiteral& c, int target) {
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t size = amp_.size();
+  const BasisIndex cbit = BasisIndex{1} << c.qubit;
+  const BasisIndex want = c.positive ? cbit : 0;
+  for (std::size_t base = 0; base < size; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      if ((static_cast<BasisIndex>(i) & cbit) == want) {
+        std::swap(amp_[i], amp_[i + stride]);
+      }
+    }
+  }
+}
+
+void Statevector::apply_rotation_pairs(int target, double theta,
+                                       BasisIndex ctrl_mask,
+                                       BasisIndex ctrl_value) {
+  const double co = std::cos(theta / 2);
+  const double si = std::sin(theta / 2);
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t size = amp_.size();
+  for (std::size_t base = 0; base < size; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      if ((static_cast<BasisIndex>(i) & ctrl_mask) != ctrl_value) continue;
+      const double a = amp_[i];
+      const double b = amp_[i + stride];
+      // Ry(theta) = [[cos t/2, -sin t/2], [sin t/2, cos t/2]].
+      amp_[i] = co * a - si * b;
+      amp_[i + stride] = si * a + co * b;
+    }
+  }
+}
+
+void Statevector::apply_ucry(const Gate& gate) {
+  const auto& controls = gate.controls();
+  const auto& angles = gate.angles();
+  // Precompute (cos, sin) per pattern.
+  std::vector<double> co(angles.size()), si(angles.size());
+  for (std::size_t s = 0; s < angles.size(); ++s) {
+    co[s] = std::cos(angles[s] / 2);
+    si[s] = std::sin(angles[s] / 2);
+  }
+  const std::size_t stride = std::size_t{1} << gate.target();
+  const std::size_t size = amp_.size();
+  for (std::size_t base = 0; base < size; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      std::uint32_t pattern = 0;
+      for (std::size_t b = 0; b < controls.size(); ++b) {
+        if (get_bit(static_cast<BasisIndex>(i), controls[b].qubit) != 0) {
+          pattern |= std::uint32_t{1} << b;
+        }
+      }
+      const double a = amp_[i];
+      const double bmp = amp_[i + stride];
+      amp_[i] = co[pattern] * a - si[pattern] * bmp;
+      amp_[i + stride] = si[pattern] * a + co[pattern] * bmp;
+    }
+  }
+}
+
+void Statevector::apply(const Gate& gate) {
+  if (gate.max_qubit() >= num_qubits_) {
+    throw std::invalid_argument("Statevector::apply: gate exceeds register");
+  }
+  switch (gate.kind()) {
+    case GateKind::kX:
+      apply_x(gate.target());
+      break;
+    case GateKind::kCNOT:
+      apply_cnot(gate.controls()[0], gate.target());
+      break;
+    case GateKind::kRy:
+      apply_rotation_pairs(gate.target(), gate.theta(), 0, 0);
+      break;
+    case GateKind::kCRy:
+    case GateKind::kMCRy: {
+      BasisIndex mask = 0;
+      BasisIndex value = 0;
+      for (const auto& c : gate.controls()) {
+        mask |= BasisIndex{1} << c.qubit;
+        if (c.positive) value |= BasisIndex{1} << c.qubit;
+      }
+      apply_rotation_pairs(gate.target(), gate.theta(), mask, value);
+      break;
+    }
+    case GateKind::kUCRy:
+      apply_ucry(gate);
+      break;
+    case GateKind::kRz:
+    case GateKind::kUCRz:
+      throw std::invalid_argument(
+          "Statevector: z-axis rotations need the complex simulator");
+  }
+}
+
+void Statevector::apply(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_) {
+    throw std::invalid_argument("Statevector::apply: register too narrow");
+  }
+  for (const Gate& g : circuit.gates()) apply(g);
+}
+
+double Statevector::norm() const {
+  double acc = 0.0;
+  for (const double a : amp_) acc += a * a;
+  return std::sqrt(acc);
+}
+
+double Statevector::inner_product(const Statevector& other) const {
+  QSP_ASSERT(other.amp_.size() == amp_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amp_.size(); ++i) acc += amp_[i] * other.amp_[i];
+  return acc;
+}
+
+double Statevector::inner_product(const QuantumState& state) const {
+  QSP_ASSERT(state.num_qubits() == num_qubits_);
+  double acc = 0.0;
+  for (const Term& t : state.terms()) acc += amp_[t.index] * t.amplitude;
+  return acc;
+}
+
+QuantumState Statevector::to_state() const {
+  return QuantumState::from_dense(num_qubits_, amp_);
+}
+
+}  // namespace qsp

@@ -1,0 +1,51 @@
+#pragma once
+// Dense real-amplitude statevector simulator. All gates in the library are
+// real orthogonal matrices, so a double vector suffices; this is the
+// verification substrate replacing the paper's Qiskit check (Section VI-A).
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp {
+
+class Statevector {
+ public:
+  /// |0...0> on n qubits (n <= kMaxQubits; memory is 8 * 2^n bytes).
+  explicit Statevector(int num_qubits);
+
+  /// Start from an arbitrary sparse state.
+  explicit Statevector(const QuantumState& state);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<double>& amplitudes() const { return amp_; }
+
+  void apply(const Gate& gate);
+  void apply(const Circuit& circuit);
+
+  /// L2 norm (should stay 1 up to rounding).
+  double norm() const;
+
+  /// <this|other>.
+  double inner_product(const Statevector& other) const;
+
+  /// <this|state> against a sparse state.
+  double inner_product(const QuantumState& state) const;
+
+  /// Convert back to the sparse representation.
+  QuantumState to_state() const;
+
+ private:
+  void apply_rotation_pairs(int target, double theta, BasisIndex ctrl_mask,
+                            BasisIndex ctrl_value);
+  void apply_x(int target);
+  void apply_cnot(const ControlLiteral& c, int target);
+  void apply_ucry(const Gate& gate);
+
+  int num_qubits_;
+  std::vector<double> amp_;
+};
+
+}  // namespace qsp

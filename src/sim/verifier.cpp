@@ -1,0 +1,48 @@
+#include "sim/verifier.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/statevector.hpp"
+
+namespace qsp {
+
+VerificationResult verify_preparation(const Circuit& circuit,
+                                      const QuantumState& target,
+                                      double tolerance) {
+  VerificationResult result;
+  if (circuit.num_qubits() < target.num_qubits()) {
+    result.message = "circuit register narrower than target";
+    return result;
+  }
+  Statevector sv(circuit.num_qubits());
+  sv.apply(circuit);
+
+  // Inner product against target embedded with ancillas in |0>: the
+  // embedded target has the same basis indices (ancillas are high bits).
+  double ip = 0.0;
+  for (const Term& t : target.terms()) {
+    ip += sv.amplitudes()[t.index] * t.amplitude;
+  }
+  result.fidelity = ip * ip;
+  result.ok = result.fidelity >= 1.0 - tolerance;
+  if (!result.ok) {
+    std::ostringstream os;
+    os.precision(12);
+    os << "fidelity " << result.fidelity << " below 1 - " << tolerance;
+    result.message = os.str();
+  }
+  return result;
+}
+
+void verify_preparation_or_throw(const Circuit& circuit,
+                                 const QuantumState& target,
+                                 double tolerance) {
+  const VerificationResult r = verify_preparation(circuit, target, tolerance);
+  if (!r.ok) {
+    throw std::runtime_error("verification failed: " + r.message);
+  }
+}
+
+}  // namespace qsp

@@ -1,0 +1,31 @@
+#pragma once
+// Preparation verifier: checks that a circuit maps |0...0> to the target
+// state (up to global sign). Circuits may carry ancilla qubits above the
+// target register; those must return to |0>.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "state/quantum_state.hpp"
+
+namespace qsp {
+
+struct VerificationResult {
+  bool ok = false;
+  double fidelity = 0.0;
+  std::string message;
+};
+
+/// Simulate `circuit` from the ground state and compare against `target`.
+/// If the circuit register is wider than the target, the extra (ancilla)
+/// qubits are required to end in |0>. Global sign is ignored.
+VerificationResult verify_preparation(const Circuit& circuit,
+                                      const QuantumState& target,
+                                      double tolerance = 1e-7);
+
+/// Throwing wrapper for tests and examples.
+void verify_preparation_or_throw(const Circuit& circuit,
+                                 const QuantumState& target,
+                                 double tolerance = 1e-7);
+
+}  // namespace qsp

@@ -1,0 +1,29 @@
+#pragma once
+// Internal invariant checking. QSP_ASSERT fires in all build types: the
+// synthesis algorithms rely on nontrivial invariants (slot-weight
+// conservation, canonical-form idempotence) whose violation must never be
+// silently ignored, and the checks are cheap relative to search work.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qsp {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "QSP_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace qsp
+
+#define QSP_ASSERT(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::qsp::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define QSP_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) ::qsp::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

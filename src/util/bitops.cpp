@@ -1,0 +1,57 @@
+#include "util/bitops.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace qsp {
+
+BasisIndex swap_bits(BasisIndex x, int a, int b) {
+  const int va = get_bit(x, a);
+  const int vb = get_bit(x, b);
+  if (va == vb) return x;
+  return flip_bit(flip_bit(x, a), b);
+}
+
+BasisIndex permute_bits(BasisIndex x, const std::vector<int>& perm) {
+  BasisIndex out = 0;
+  for (std::size_t q = 0; q < perm.size(); ++q) {
+    if (get_bit(x, static_cast<int>(q)) != 0) out = flip_bit(out, perm[q]);
+  }
+  // Bits at positions >= perm.size() are required to be clear.
+  QSP_ASSERT((x >> perm.size()) == 0);
+  return out;
+}
+
+std::string to_bitstring(BasisIndex x, int n) {
+  QSP_ASSERT(n >= 0 && n <= kMaxQubits);
+  std::string s(static_cast<std::size_t>(n), '0');
+  for (int q = 0; q < n; ++q) {
+    if (get_bit(x, q) != 0) s[static_cast<std::size_t>(n - 1 - q)] = '1';
+  }
+  return s;
+}
+
+BasisIndex from_bitstring(const std::string& s) {
+  if (s.empty() || s.size() > static_cast<std::size_t>(kMaxQubits)) {
+    throw std::invalid_argument("from_bitstring: bad width");
+  }
+  BasisIndex x = 0;
+  const int n = static_cast<int>(s.size());
+  for (int i = 0; i < n; ++i) {
+    const char c = s[static_cast<std::size_t>(i)];
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("from_bitstring: non-binary character");
+    }
+    if (c == '1') x = flip_bit(x, n - 1 - i);
+  }
+  return x;
+}
+
+int gray_change_bit(std::uint32_t i) {
+  // gray(i) ^ gray(i+1) has exactly one bit set: the lowest zero... in fact
+  // it equals the position of the lowest set bit of (i+1).
+  return std::countr_zero(i + 1);
+}
+
+}  // namespace qsp

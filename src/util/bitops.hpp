@@ -1,0 +1,63 @@
+#pragma once
+// Bit-level helpers for basis indices. A basis state of an n-qubit register
+// is a BasisIndex whose bit q holds the value of qubit q (qubit 0 = LSB).
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsp {
+
+/// Basis state of up to 32 qubits; bit q is qubit q's value.
+using BasisIndex = std::uint32_t;
+
+/// Maximum register width supported by the library.
+inline constexpr int kMaxQubits = 24;
+
+/// Value of qubit `q` in basis index `x`.
+constexpr int get_bit(BasisIndex x, int q) { return (x >> q) & 1u; }
+
+/// `x` with qubit `q` set to `v`.
+constexpr BasisIndex set_bit(BasisIndex x, int q, int v) {
+  return (x & ~(BasisIndex{1} << q)) |
+         (static_cast<BasisIndex>(v & 1) << q);
+}
+
+/// `x` with qubit `q` flipped.
+constexpr BasisIndex flip_bit(BasisIndex x, int q) {
+  return x ^ (BasisIndex{1} << q);
+}
+
+/// Number of set bits.
+constexpr int popcount(BasisIndex x) { return std::popcount(x); }
+
+/// Hamming distance between two basis indices.
+constexpr int hamming(BasisIndex a, BasisIndex b) { return popcount(a ^ b); }
+
+/// `x` with bits `a` and `b` exchanged.
+BasisIndex swap_bits(BasisIndex x, int a, int b);
+
+/// Apply a qubit permutation: bit `perm[q]` of the result is bit `q` of `x`.
+BasisIndex permute_bits(BasisIndex x, const std::vector<int>& perm);
+
+/// Binary string of `x` on `n` qubits, most significant qubit first
+/// (e.g. n=3, x=0b011 -> "011", qubit 2 is the leading character).
+std::string to_bitstring(BasisIndex x, int n);
+
+/// Parse a bitstring produced by `to_bitstring`.
+BasisIndex from_bitstring(const std::string& s);
+
+/// Gray code of `i`.
+constexpr std::uint32_t gray_code(std::uint32_t i) { return i ^ (i >> 1); }
+
+/// Position of the single bit that differs between gray_code(i) and
+/// gray_code(i+1).
+int gray_change_bit(std::uint32_t i);
+
+/// Parity (XOR of bits) of `x & mask`.
+constexpr int parity(BasisIndex x, BasisIndex mask) {
+  return std::popcount(x & mask) & 1;
+}
+
+}  // namespace qsp

@@ -1,0 +1,76 @@
+#include "util/combinatorics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace qsp {
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    // result * num may overflow; detect via division.
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> combinations(int n, int k) {
+  if (n < 0 || k < 0 || k > n) {
+    throw std::invalid_argument("combinations: need 0 <= k <= n");
+  }
+  std::vector<std::vector<int>> out;
+  std::vector<int> cur(static_cast<std::size_t>(k));
+  std::iota(cur.begin(), cur.end(), 0);
+  if (k == 0) {
+    out.push_back({});
+    return out;
+  }
+  while (true) {
+    out.push_back(cur);
+    // Advance to next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && cur[static_cast<std::size_t>(i)] == n - k + i) --i;
+    if (i < 0) break;
+    ++cur[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      cur[static_cast<std::size_t>(j)] = cur[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> permutations(int n) {
+  if (n < 0 || n > 8) {
+    throw std::invalid_argument("permutations: n must be in [0, 8]");
+  }
+  std::vector<int> cur(static_cast<std::size_t>(n));
+  std::iota(cur.begin(), cur.end(), 0);
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(cur);
+  } while (std::next_permutation(cur.begin(), cur.end()));
+  return out;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geometric_mean: values must be positive");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace qsp

@@ -1,0 +1,23 @@
+#pragma once
+// Small combinatorial helpers used by the equivalence-class counter
+// (Table III) and the workload generators.
+
+#include <cstdint>
+#include <vector>
+
+namespace qsp {
+
+/// Binomial coefficient C(n, k); saturates at UINT64_MAX on overflow.
+std::uint64_t binomial(unsigned n, unsigned k);
+
+/// Enumerate all k-subsets of {0..n-1} as sorted index vectors.
+/// Intended for small n (Table III uses n = 16, k <= 8).
+std::vector<std::vector<int>> combinations(int n, int k);
+
+/// Enumerate all permutations of {0..n-1}; n <= 8 enforced.
+std::vector<std::vector<int>> permutations(int n);
+
+/// Geometric mean of positive values; returns 0 for empty input.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace qsp

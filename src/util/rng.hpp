@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic, seedable pseudo-random generation used by workload
+// generators and property tests. We implement xoshiro256** ourselves so
+// benchmark workloads are bit-reproducible across standard libraries.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace qsp {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// True with probability `p`.
+  bool next_bool(double p = 0.5);
+
+  /// `k` distinct values sampled uniformly from [0, pool), ascending order.
+  /// Uses Floyd's algorithm; O(k) memory independent of pool size.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t pool,
+                                             std::size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qsp

@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsp {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must be non-empty");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_sep = [&] {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& row, bool numeric) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      os << "| ";
+      if (numeric && looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  emit_sep();
+  emit_row(header_, /*numeric=*/false);
+  emit_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_sep();
+    } else {
+      emit_row(row, /*numeric=*/true);
+    }
+  }
+  emit_sep();
+  return os.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TextTable::fmt(std::uint64_t v) { return std::to_string(v); }
+std::string TextTable::fmt(std::int64_t v) { return std::to_string(v); }
+std::string TextTable::fmt(int v) { return std::to_string(v); }
+
+std::string TextTable::fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace qsp

@@ -1,0 +1,39 @@
+#pragma once
+// Aligned-column text tables for the benchmark harness. The bench binaries
+// print paper-style tables (Tables I/III/IV/V) to stdout.
+
+#include <string>
+#include <vector>
+
+namespace qsp {
+
+/// Builds and renders a fixed-column text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Horizontal separator before the next added row.
+  void add_separator();
+
+  /// Render with single-space padding and column alignment; numeric-looking
+  /// cells are right-aligned, text cells left-aligned.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helpers for cells.
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(int v);
+  static std::string fmt_percent(double fraction, int precision = 0);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace qsp

@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive member for the module.

@@ -1,0 +1,43 @@
+#pragma once
+// Wall-clock timing for the CPU-time analysis (Fig. 7) and search budgets.
+
+#include <chrono>
+
+namespace qsp {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Cooperative deadline used by solvers; zero or negative budget = no limit.
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds = 0.0)
+      : budget_(budget_seconds) {}
+
+  bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+
+  double elapsed() const { return timer_.seconds(); }
+  double budget() const { return budget_; }
+
+ private:
+  Timer timer_;
+  double budget_;
+};
+
+}  // namespace qsp

@@ -1,0 +1,148 @@
+#include "core/astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+SynthesisResult solve(const QuantumState& target,
+                      SearchOptions options = {}) {
+  const AStarSynthesizer synth(options);
+  return synth.synthesize(target);
+}
+
+void expect_optimal(const QuantumState& target, std::int64_t expected_cost,
+                    SearchOptions options = {}) {
+  const SynthesisResult res = solve(target, options);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.optimal);
+  EXPECT_EQ(res.cnot_cost, expected_cost);
+  verify_preparation_or_throw(res.circuit, target);
+  // The reported arc cost must match the lowered CNOT count of the
+  // returned circuit.
+  EXPECT_EQ(count_cnots_after_lowering(res.circuit), expected_cost);
+}
+
+TEST(AStar, GroundStateIsFree) { expect_optimal(QuantumState(3), 0); }
+
+TEST(AStar, ProductStatesAreFree) {
+  // Uniform superposition: all qubits separable -> zero CNOTs.
+  expect_optimal(make_uniform(3, {0, 1, 2, 3, 4, 5, 6, 7}), 0);
+  expect_optimal(make_uniform(2, {0b10, 0b11}), 0);
+}
+
+TEST(AStar, BellCostsOne) { expect_optimal(make_ghz(2), 1); }
+
+TEST(AStar, GhzCostsNMinusOne) {
+  expect_optimal(make_ghz(3), 2);
+  expect_optimal(make_ghz(4), 3);
+  expect_optimal(make_ghz(5), 4);
+}
+
+TEST(AStar, MotivatingExampleCostsTwo) {
+  // Paper Fig. 3: (|000> + |011> + |101> + |110>)/2 takes 2 CNOTs.
+  expect_optimal(make_uniform(3, {0b000, 0b011, 0b101, 0b110}), 2);
+}
+
+TEST(AStar, WThreeMatchesPaper) {
+  // Table IV row (n=3, k=1): exact synthesis uses 4 CNOTs.
+  expect_optimal(make_w(3), 4);
+}
+
+TEST(AStar, DickeFourTwoBeatsManual) {
+  // The paper's headline: |D^2_4> in 6 CNOTs (manual design: 12).
+  expect_optimal(make_dicke(4, 2), 6);
+}
+
+TEST(AStar, SearchStatsPopulated) {
+  const SynthesisResult res = solve(make_dicke(4, 2));
+  EXPECT_TRUE(res.stats.completed);
+  EXPECT_GT(res.stats.nodes_expanded, 0u);
+  EXPECT_GT(res.stats.nodes_generated, res.stats.nodes_expanded);
+  EXPECT_GT(res.stats.classes_stored, 1u);
+}
+
+TEST(AStar, BudgetExhaustionReportsNotFound) {
+  SearchOptions tight;
+  tight.node_budget = 10;
+  const SynthesisResult res = solve(make_dicke(4, 2), tight);
+  EXPECT_FALSE(res.found);
+  EXPECT_FALSE(res.stats.completed);
+}
+
+TEST(AStar, HeuristicModesAgreeOnOptimalCost) {
+  const QuantumState target = make_uniform(3, {0b000, 0b011, 0b101});
+  std::int64_t costs[3];
+  int i = 0;
+  for (const HeuristicMode mode :
+       {HeuristicMode::kZero, HeuristicMode::kPair,
+        HeuristicMode::kComponent}) {
+    SearchOptions o;
+    o.heuristic = mode;
+    const SynthesisResult res = solve(target, o);
+    ASSERT_TRUE(res.found);
+    EXPECT_TRUE(res.optimal);
+    costs[i++] = res.cnot_cost;
+  }
+  EXPECT_EQ(costs[0], costs[1]);
+  EXPECT_EQ(costs[1], costs[2]);
+}
+
+TEST(AStar, CanonicalLevelsAgreeOnOptimalCost) {
+  const QuantumState target = make_uniform(3, {0b001, 0b010, 0b100, 0b111});
+  std::int64_t reference = -1;
+  for (const CanonicalLevel level :
+       {CanonicalLevel::kNone, CanonicalLevel::kU2,
+        CanonicalLevel::kPU2Greedy, CanonicalLevel::kPU2Exact}) {
+    SearchOptions o;
+    o.canonical = level;
+    o.node_budget = 20'000'000;
+    const SynthesisResult res = solve(target, o);
+    ASSERT_TRUE(res.found) << "level " << static_cast<int>(level);
+    if (reference < 0) reference = res.cnot_cost;
+    EXPECT_EQ(res.cnot_cost, reference)
+        << "level " << static_cast<int>(level);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(AStar, CanonicalizationShrinksExploration) {
+  const QuantumState target = make_dicke(4, 2);
+  SearchOptions with;
+  with.canonical = CanonicalLevel::kPU2Exact;
+  SearchOptions without;
+  without.canonical = CanonicalLevel::kU2;
+  const SynthesisResult a = solve(target, with);
+  const SynthesisResult b = solve(target, without);
+  ASSERT_TRUE(a.found && b.found);
+  EXPECT_EQ(a.cnot_cost, b.cnot_cost);
+  EXPECT_LT(a.stats.classes_stored, b.stats.classes_stored);
+}
+
+TEST(AStar, RandomUniformStatesAlwaysVerify) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(2));
+    const int m = 2 + static_cast<int>(rng.next_below(7));
+    const QuantumState target = make_random_uniform(n, m, rng);
+    const SynthesisResult res = solve(target);
+    ASSERT_TRUE(res.found) << target.to_string();
+    EXPECT_TRUE(res.optimal);
+    verify_preparation_or_throw(res.circuit, target);
+    EXPECT_EQ(count_cnots_after_lowering(res.circuit), res.cnot_cost);
+  }
+}
+
+TEST(AStar, ThrowsOnNonSlotState) {
+  const QuantumState signed_state(2, {Term{0, 1.0}, Term{3, -1.0}});
+  const AStarSynthesizer synth;
+  EXPECT_THROW(synth.synthesize(signed_state), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,79 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qsp {
+namespace {
+
+TEST(Bitops, GetSetFlip) {
+  EXPECT_EQ(get_bit(0b1010, 1), 1);
+  EXPECT_EQ(get_bit(0b1010, 0), 0);
+  EXPECT_EQ(set_bit(0b1010, 0, 1), 0b1011u);
+  EXPECT_EQ(set_bit(0b1010, 1, 0), 0b1000u);
+  EXPECT_EQ(set_bit(0b1010, 1, 1), 0b1010u);
+  EXPECT_EQ(flip_bit(0b1010, 3), 0b0010u);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+}
+
+TEST(Bitops, PopcountHamming) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(hamming(0b1010, 0b1010), 0);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming(0b1000, 0b1001), 1);
+}
+
+TEST(Bitops, SwapBits) {
+  EXPECT_EQ(swap_bits(0b10, 0, 1), 0b01u);
+  EXPECT_EQ(swap_bits(0b11, 0, 1), 0b11u);
+  EXPECT_EQ(swap_bits(0b100, 2, 0), 0b001u);
+  EXPECT_EQ(swap_bits(0b101, 0, 2), 0b101u);
+}
+
+TEST(Bitops, PermuteBits) {
+  // perm[q] = destination of bit q.
+  const std::vector<int> rotate{1, 2, 0};
+  EXPECT_EQ(permute_bits(0b001, rotate), 0b010u);
+  EXPECT_EQ(permute_bits(0b010, rotate), 0b100u);
+  EXPECT_EQ(permute_bits(0b100, rotate), 0b001u);
+  EXPECT_EQ(permute_bits(0b110, rotate), 0b101u);
+}
+
+TEST(Bitops, PermuteIdentity) {
+  const std::vector<int> id{0, 1, 2, 3};
+  for (BasisIndex x = 0; x < 16; ++x) {
+    EXPECT_EQ(permute_bits(x, id), x);
+  }
+}
+
+TEST(Bitops, BitstringRoundTrip) {
+  EXPECT_EQ(to_bitstring(0b011, 3), "011");
+  EXPECT_EQ(to_bitstring(0, 4), "0000");
+  EXPECT_EQ(to_bitstring(0b100, 3), "100");
+  for (BasisIndex x = 0; x < 32; ++x) {
+    EXPECT_EQ(from_bitstring(to_bitstring(x, 5)), x);
+  }
+  EXPECT_THROW(from_bitstring(""), std::invalid_argument);
+  EXPECT_THROW(from_bitstring("01a"), std::invalid_argument);
+}
+
+TEST(Bitops, GrayCode) {
+  // Adjacent gray codes differ in exactly one bit.
+  for (std::uint32_t i = 0; i + 1 < 64; ++i) {
+    EXPECT_EQ(popcount(gray_code(i) ^ gray_code(i + 1)), 1);
+    EXPECT_EQ(gray_code(i) ^ gray_code(i + 1),
+              std::uint32_t{1} << gray_change_bit(i));
+  }
+}
+
+TEST(Bitops, Parity) {
+  EXPECT_EQ(parity(0b1011, 0b0011), 0);
+  EXPECT_EQ(parity(0b1011, 0b0001), 1);
+  EXPECT_EQ(parity(0b1011, 0b1111), 1);
+  EXPECT_EQ(parity(0, 0b1111), 0);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,70 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace qsp {
+namespace {
+
+TEST(Combinatorics, BinomialSmall) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+  EXPECT_EQ(binomial(16, 8), 12870u);  // Table III row m=8
+  EXPECT_EQ(binomial(16, 2), 120u);
+  EXPECT_EQ(binomial(16, 5), 4368u);
+}
+
+TEST(Combinatorics, BinomialPascal) {
+  for (unsigned n = 1; n <= 20; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Combinatorics, BinomialOverflowSaturates) {
+  EXPECT_EQ(binomial(200, 100), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Combinatorics, Combinations) {
+  const auto combos = combinations(5, 3);
+  EXPECT_EQ(combos.size(), binomial(5, 3));
+  std::set<std::vector<int>> unique(combos.begin(), combos.end());
+  EXPECT_EQ(unique.size(), combos.size());
+  for (const auto& c : combos) {
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_TRUE(c[0] < c[1] && c[1] < c[2]);
+    EXPECT_GE(c[0], 0);
+    EXPECT_LT(c[2], 5);
+  }
+  EXPECT_EQ(combinations(3, 0).size(), 1u);
+  EXPECT_THROW(combinations(3, 4), std::invalid_argument);
+}
+
+TEST(Combinatorics, Permutations) {
+  const auto perms = permutations(4);
+  EXPECT_EQ(perms.size(), 24u);
+  std::set<std::vector<int>> unique(perms.begin(), perms.end());
+  EXPECT_EQ(unique.size(), 24u);
+  EXPECT_EQ(permutations(0).size(), 1u);
+  EXPECT_EQ(permutations(1).size(), 1u);
+  EXPECT_THROW(permutations(9), std::invalid_argument);
+}
+
+TEST(Combinatorics, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({5.0}), 5.0);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_NEAR(geometric_mean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsp

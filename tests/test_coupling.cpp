@@ -1,0 +1,201 @@
+#include "arch/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/routing.hpp"
+#include "circuit/lowering.hpp"
+#include "core/astar.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+void expect_same_unitary(const Circuit& a, const Circuit& b, int n) {
+  for (BasisIndex x = 0; x < (BasisIndex{1} << n); ++x) {
+    std::vector<double> basis(std::size_t{1} << n, 0.0);
+    basis[x] = 1.0;
+    Statevector sa(QuantumState::from_dense(n, basis));
+    Statevector sb(QuantumState::from_dense(n, basis));
+    sa.apply(a);
+    sb.apply(b);
+    for (std::size_t i = 0; i < sa.amplitudes().size(); ++i) {
+      ASSERT_NEAR(sa.amplitudes()[i], sb.amplitudes()[i], 1e-9);
+    }
+  }
+}
+
+TEST(Coupling, FactoriesAndDistances) {
+  const CouplingGraph line = CouplingGraph::line(5);
+  EXPECT_TRUE(line.has_edge(0, 1));
+  EXPECT_FALSE(line.has_edge(0, 2));
+  EXPECT_EQ(line.distance(0, 4), 4);
+  EXPECT_FALSE(line.is_complete());
+  EXPECT_TRUE(line.is_connected());
+
+  const CouplingGraph ring = CouplingGraph::ring(6);
+  EXPECT_EQ(ring.distance(0, 3), 3);
+  EXPECT_EQ(ring.distance(0, 5), 1);
+
+  const CouplingGraph star = CouplingGraph::star(5);
+  EXPECT_EQ(star.distance(1, 4), 2);
+  EXPECT_EQ(star.distance(0, 4), 1);
+
+  const CouplingGraph grid = CouplingGraph::grid(2, 3);
+  EXPECT_EQ(grid.num_qubits(), 6);
+  EXPECT_EQ(grid.distance(0, 5), 3);  // (0,0) -> (1,2)
+
+  EXPECT_TRUE(CouplingGraph::full(4).is_complete());
+  EXPECT_THROW(CouplingGraph(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(CouplingGraph(2, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(Coupling, DisconnectedGraphDetected) {
+  const CouplingGraph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_THROW(g.distance(0, 2), std::invalid_argument);
+}
+
+TEST(Coupling, RoutedCnotCost) {
+  const CouplingGraph line = CouplingGraph::line(6);
+  EXPECT_EQ(line.routed_cnot_cost(0, 1), 1);
+  EXPECT_EQ(line.routed_cnot_cost(0, 2), 4);
+  EXPECT_EQ(line.routed_cnot_cost(0, 3), 8);
+  EXPECT_EQ(line.routed_cnot_cost(0, 5), 16);
+}
+
+TEST(Coupling, RoutedRotationPrefersNearControls) {
+  const CouplingGraph line = CouplingGraph::line(6);
+  std::vector<ControlLiteral> controls{{0, true}, {1, true}, {4, true}};
+  const std::int64_t cost = line.routed_rotation_cost(controls, 2);
+  // Distances to target 2: q0 at 2 hops (routed cost 4), q1 adjacent
+  // (cost 1), q4 at 2 hops (cost 4). Gray-code uses per bit for c = 3:
+  // bit0 fires 4x, bit1 2x, bit2 1x + the closing CNOT = 2x. Near-first
+  // assignment: 4*1 + 2*4 + 2*4 = 20.
+  EXPECT_EQ(cost, 20);
+  // A far control on the frequent bit would cost 4*4 + 2*4 + 2*1 = 26;
+  // the model must beat that.
+  EXPECT_LT(cost, 26);
+}
+
+TEST(Routing, LongRangeCnotLadder) {
+  // The 4(d-1) parity ladder must equal a plain CNOT for d = 2..4.
+  for (int d = 2; d <= 4; ++d) {
+    const int n = d + 1;
+    const CouplingGraph line = CouplingGraph::line(n);
+    Circuit logical(n);
+    logical.append(Gate::cnot(0, n - 1));
+    const Circuit routed = route_circuit(logical, line);
+    EXPECT_TRUE(respects_coupling(routed, line));
+    EXPECT_EQ(lowered_cnot_count(routed), 4 * (d - 1));
+    expect_same_unitary(logical, routed, n);
+  }
+}
+
+TEST(Routing, NegativeControlLongRange) {
+  const CouplingGraph line = CouplingGraph::line(3);
+  Circuit logical(3);
+  logical.append(Gate::cnot(0, 2, /*positive=*/false));
+  const Circuit routed = route_circuit(logical, line);
+  EXPECT_TRUE(respects_coupling(routed, line));
+  expect_same_unitary(logical, routed, 3);
+}
+
+TEST(Routing, McryRoutedCostMatchesModel) {
+  // The routed circuit's CNOT count must equal the cost model the search
+  // uses (this also pins the near-control-first reordering).
+  Rng rng(61);
+  const CouplingGraph line = CouplingGraph::line(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int target = static_cast<int>(rng.next_below(5));
+    std::vector<ControlLiteral> controls;
+    for (int q = 0; q < 5; ++q) {
+      if (q != target && rng.next_bool(0.6)) {
+        controls.push_back(ControlLiteral{q, rng.next_bool()});
+      }
+    }
+    if (controls.size() < 2) continue;
+    Circuit logical(5);
+    logical.append(Gate::mcry(controls, target, rng.next_double(-2, 2)));
+    const Circuit routed = route_circuit(logical, line);
+    EXPECT_TRUE(respects_coupling(routed, line));
+    EXPECT_EQ(lowered_cnot_count(routed),
+              line.routed_rotation_cost(controls, target));
+    expect_same_unitary(logical, routed, 5);
+  }
+}
+
+TEST(Routing, ReorderUcryControlsPreservesUnitary) {
+  Rng rng(62);
+  std::vector<double> angles(8);
+  for (double& a : angles) a = rng.next_double(-2, 2);
+  Circuit original(4);
+  original.append(Gate::ucry({0, 1, 2}, 3, angles));
+  Circuit reordered(4);
+  reordered.append(
+      reorder_ucry_controls(original.gates()[0], {2, 0, 1}));
+  expect_same_unitary(original, reordered, 4);
+  EXPECT_THROW(reorder_ucry_controls(original.gates()[0], {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(reorder_ucry_controls(original.gates()[0], {0, 1, 3}),
+               std::invalid_argument);
+}
+
+TEST(CouplingSearch, GhzOnLineIsChainOfNeighbours) {
+  SearchOptions options;
+  options.coupling = std::make_shared<CouplingGraph>(CouplingGraph::line(4));
+  const AStarSynthesizer synth(options);
+  const QuantumState ghz = make_ghz(4);
+  const SynthesisResult res = synth.synthesize(ghz);
+  ASSERT_TRUE(res.found);
+  // The neighbour chain costs 3 even on a line.
+  EXPECT_EQ(res.cnot_cost, 3);
+  verify_preparation_or_throw(res.circuit, ghz);
+  const Circuit routed = route_circuit(res.circuit, *options.coupling);
+  EXPECT_TRUE(respects_coupling(routed, *options.coupling));
+  EXPECT_EQ(lowered_cnot_count(routed), res.cnot_cost);
+}
+
+TEST(CouplingSearch, RoutedCostMatchesSearchCost) {
+  // End-to-end agreement: whatever the search reports must equal the CNOT
+  // count of the routed circuit.
+  Rng rng(63);
+  SearchOptions options;
+  options.coupling = std::make_shared<CouplingGraph>(CouplingGraph::line(4));
+  const AStarSynthesizer synth(options);
+  for (int trial = 0; trial < 6; ++trial) {
+    const QuantumState target = make_random_uniform(4, 4, rng);
+    const SynthesisResult res = synth.synthesize(target);
+    ASSERT_TRUE(res.found);
+    verify_preparation_or_throw(res.circuit, target);
+    const Circuit routed = route_circuit(res.circuit, *options.coupling);
+    EXPECT_TRUE(respects_coupling(routed, *options.coupling));
+    EXPECT_EQ(lowered_cnot_count(routed), res.cnot_cost)
+        << target.to_string();
+    // The routed circuit still prepares the state.
+    verify_preparation_or_throw(routed, target);
+  }
+}
+
+TEST(CouplingSearch, LineNeverCheaperThanFull) {
+  Rng rng(64);
+  SearchOptions full_opts;
+  SearchOptions line_opts;
+  line_opts.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::line(4));
+  const AStarSynthesizer full_synth(full_opts);
+  const AStarSynthesizer line_synth(line_opts);
+  for (int trial = 0; trial < 6; ++trial) {
+    const QuantumState target = make_random_uniform(4, 5, rng);
+    const SynthesisResult f = full_synth.synthesize(target);
+    const SynthesisResult l = line_synth.synthesize(target);
+    ASSERT_TRUE(f.found && l.found);
+    EXPECT_GE(l.cnot_cost, f.cnot_cost);
+    verify_preparation_or_throw(l.circuit, target);
+  }
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,53 @@
+#include "prep/dicke.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Dicke, MukherjeeFormulaMatchesTableFour) {
+  // The paper's Table IV "Manual" column.
+  EXPECT_EQ(mukherjee_dicke_cnot_count(3, 1), 4);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(4, 1), 7);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(4, 2), 12);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(5, 1), 10);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(5, 2), 20);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(6, 1), 13);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(6, 2), 28);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(6, 3), 33);
+  EXPECT_THROW(mukherjee_dicke_cnot_count(4, 3), std::invalid_argument);
+}
+
+TEST(Dicke, ManualCircuitPreparesDickeStates) {
+  for (int n = 2; n <= 6; ++n) {
+    for (int k = 1; k < n; ++k) {
+      const Circuit c = dicke_manual_circuit(n, k);
+      verify_preparation_or_throw(c, make_dicke(n, k));
+    }
+  }
+}
+
+TEST(Dicke, ManualCircuitCostIsLinearInNK) {
+  // Bartschi-Eidenbenz: O(kn) CNOTs.
+  for (int n = 3; n <= 8; ++n) {
+    for (int k = 1; k <= n / 2; ++k) {
+      const Circuit c = dicke_manual_circuit(n, k);
+      const auto cost = count_cnots_after_lowering(c);
+      EXPECT_LE(cost, 6 * n * k) << "n=" << n << " k=" << k;
+      EXPECT_GT(cost, 0);
+    }
+  }
+}
+
+TEST(Dicke, InvalidArgumentsThrow) {
+  EXPECT_THROW(dicke_manual_circuit(1, 1), std::invalid_argument);
+  EXPECT_THROW(dicke_manual_circuit(4, 0), std::invalid_argument);
+  EXPECT_THROW(dicke_manual_circuit(4, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsp

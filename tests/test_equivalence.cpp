@@ -1,0 +1,85 @@
+#include "core/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/combinatorics.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Equivalence, TotalsMatchBinomials) {
+  const auto rows = count_uniform_equivalence_classes(3, 4);
+  ASSERT_EQ(rows.size(), 4u);
+  for (int m = 1; m <= 4; ++m) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(m - 1)].total_states,
+              binomial(8, static_cast<unsigned>(m)));
+  }
+}
+
+TEST(Equivalence, SingleBasisStatesFormOneClass) {
+  const auto rows = count_uniform_equivalence_classes(3, 2);
+  EXPECT_EQ(rows[0].u2_classes, 1u);
+  EXPECT_EQ(rows[0].pu2_classes, 1u);
+}
+
+TEST(Equivalence, PairClassesForThreeQubits) {
+  // {x, y} with v = x^y: v single-bit pairs merge to cardinality 1; the
+  // remaining v (|v| >= 2) each form a class: 4 classes under U(2) for
+  // n=3, and 2 under qubit permutation (popcount 2 or 3).
+  const auto rows = count_uniform_equivalence_classes(3, 2);
+  EXPECT_EQ(rows[1].u2_classes, 4u);
+  EXPECT_EQ(rows[1].pu2_classes, 2u);
+}
+
+TEST(Equivalence, PermutationNeverIncreasesClasses) {
+  for (const int n : {2, 3}) {
+    const auto rows = count_uniform_equivalence_classes(n, 1 << n);
+    for (const auto& row : rows) {
+      EXPECT_LE(row.pu2_classes, row.u2_classes);
+      EXPECT_LE(row.u2_classes, row.total_states);
+      EXPECT_LE(row.pu2_touching, row.u2_touching);
+    }
+  }
+}
+
+TEST(Equivalence, TouchingCountsDominateMinCardCounts) {
+  // Every class whose minimal cardinality is m contains an m-state, so
+  // the "touching" count can only be larger.
+  for (const int n : {3, 4}) {
+    const auto rows = count_uniform_equivalence_classes(n, 1 << (n - 1));
+    for (const auto& row : rows) {
+      EXPECT_GE(row.u2_touching, row.u2_classes) << "m=" << row.m;
+      EXPECT_GE(row.pu2_touching, row.pu2_classes) << "m=" << row.m;
+    }
+  }
+}
+
+TEST(Equivalence, RejectsLargeN) {
+  EXPECT_THROW(count_uniform_equivalence_classes(5, 2),
+               std::invalid_argument);
+  EXPECT_THROW(count_uniform_equivalence_classes(0, 1),
+               std::invalid_argument);
+}
+
+// The full Table III check (n = 4) lives here as the authoritative
+// regression for the paper's numbers; values verified against the paper:
+// |V/U(2)|  : 1, 11, 35, 118, 273, 525, 715, 828
+// |V/PU(2)| : 1,  3,  6,  16,  27,  47,  56,  68
+TEST(Equivalence, TableThreeFourQubits) {
+  const auto rows = count_uniform_equivalence_classes(4, 8);
+  const std::uint64_t expected_total[] = {16,   120,  560,  1820,
+                                          4368, 8008, 11440, 12870};
+  const std::uint64_t expected_u2[] = {1, 11, 35, 118, 273, 525, 715, 828};
+  const std::uint64_t expected_pu2[] = {1, 3, 6, 16, 27, 47, 56, 68};
+  for (int m = 1; m <= 8; ++m) {
+    const auto& row = rows[static_cast<std::size_t>(m - 1)];
+    EXPECT_EQ(row.total_states, expected_total[m - 1]) << "m=" << m;
+    EXPECT_EQ(row.u2_classes, expected_u2[m - 1]) << "m=" << m;
+    EXPECT_EQ(row.pu2_classes, expected_pu2[m - 1]) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,82 @@
+#include "core/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+SlotState slot_of(const QuantumState& s) {
+  return *SlotState::from_state(s);
+}
+
+TEST(Heuristic, ZeroMode) {
+  EXPECT_EQ(heuristic_lower_bound(slot_of(make_ghz(4)),
+                                  HeuristicMode::kZero),
+            0);
+}
+
+TEST(Heuristic, ProductStatesHaveZeroBound) {
+  const SlotState prod = SlotState::from_indices(3, {0, 1, 2, 3});
+  EXPECT_EQ(heuristic_lower_bound(prod, HeuristicMode::kPair), 0);
+  EXPECT_EQ(heuristic_lower_bound(prod, HeuristicMode::kComponent), 0);
+  EXPECT_EQ(heuristic_lower_bound(SlotState::ground(4, 2),
+                                  HeuristicMode::kComponent),
+            0);
+}
+
+TEST(Heuristic, GhzBoundsMatchPaperExample) {
+  // Paper Section V-A: GHZ_4 has 4 entangled qubits, the pair heuristic
+  // returns ceil(4/2) = 2, while the true minimum is 3. The component
+  // bound is tight here: all qubits are pairwise correlated.
+  const SlotState ghz = slot_of(make_ghz(4));
+  EXPECT_EQ(heuristic_lower_bound(ghz, HeuristicMode::kPair), 2);
+  EXPECT_EQ(heuristic_lower_bound(ghz, HeuristicMode::kComponent), 3);
+}
+
+TEST(Heuristic, ParityStateUsesSingletonRule) {
+  // (|000>+|011>+|101>+|110>)/2: all qubits entangled yet pairwise
+  // uncorrelated -> three singletons -> ceil(3/2) = 2 in both modes.
+  const SlotState parity =
+      SlotState::from_indices(3, {0b000, 0b011, 0b101, 0b110});
+  EXPECT_EQ(heuristic_lower_bound(parity, HeuristicMode::kPair), 2);
+  EXPECT_EQ(heuristic_lower_bound(parity, HeuristicMode::kComponent), 2);
+}
+
+TEST(Heuristic, ComponentDominatesPair) {
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(3));
+    const int m = 2 + static_cast<int>(rng.next_below(7));
+    const SlotState s = slot_of(make_random_uniform(n, m, rng));
+    EXPECT_GE(heuristic_lower_bound(s, HeuristicMode::kComponent),
+              heuristic_lower_bound(s, HeuristicMode::kPair));
+  }
+}
+
+TEST(Heuristic, BellPair) {
+  const SlotState bell = SlotState::from_indices(2, {0b00, 0b11});
+  EXPECT_EQ(heuristic_lower_bound(bell, HeuristicMode::kPair), 1);
+  EXPECT_EQ(heuristic_lower_bound(bell, HeuristicMode::kComponent), 1);
+}
+
+TEST(Heuristic, TwoIndependentBellPairs) {
+  // Bell(0,1) x Bell(2,3): two components of size 2 -> bound 2.
+  const SlotState s =
+      SlotState::from_indices(4, {0b0000, 0b0011, 0b1100, 0b1111});
+  EXPECT_EQ(heuristic_lower_bound(s, HeuristicMode::kComponent), 2);
+  EXPECT_EQ(heuristic_lower_bound(s, HeuristicMode::kPair), 2);
+}
+
+TEST(Heuristic, SeparableQubitsExcluded) {
+  // Bell x (|0>+|1>)/sqrt2: the separable qubit must not inflate bounds.
+  const SlotState s =
+      SlotState::from_indices(3, {0b000, 0b011, 0b100, 0b111});
+  EXPECT_EQ(heuristic_lower_bound(s, HeuristicMode::kComponent), 1);
+  EXPECT_EQ(heuristic_lower_bound(s, HeuristicMode::kPair), 1);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,76 @@
+#include "prep/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Hybrid, CircuitCarriesAncilla) {
+  const QuantumState target = make_ghz(3);
+  const HybridResult res = hybrid_prepare(target);
+  ASSERT_FALSE(res.timed_out);
+  EXPECT_EQ(res.circuit.num_qubits(), 4);
+  // Ancilla must end in |0>: the verifier enforces this.
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+TEST(Hybrid, PreparesRandomStates) {
+  Rng rng(301);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(4));
+    const QuantumState target = make_random_uniform(n, n, rng);
+    const HybridResult res = hybrid_prepare(target);
+    ASSERT_FALSE(res.timed_out);
+    verify_preparation_or_throw(res.circuit, target);
+    EXPECT_GT(res.accounted_cnots, 0);
+  }
+}
+
+TEST(Hybrid, GateCostFormula) {
+  EXPECT_EQ(hybrid_gate_cost(Gate::cnot(0, 1)), 1);
+  EXPECT_EQ(hybrid_gate_cost(Gate::cry(0, 1, 0.5)), 2);
+  // 2 controls: min(4, 6*(4-3)) = 4.
+  EXPECT_EQ(hybrid_gate_cost(Gate::mcry(
+                {ControlLiteral{0, true}, ControlLiteral{1, true}}, 2, 0.5)),
+            4);
+  // 5 controls: min(32, 6*(10-3)) = 32 -> still the multiplexor; 6 controls:
+  // min(64, 6*(12-3)) = 54 -> linear wins.
+  std::vector<ControlLiteral> five, six;
+  for (int q = 0; q < 5; ++q) five.push_back(ControlLiteral{q, true});
+  for (int q = 0; q < 6; ++q) six.push_back(ControlLiteral{q, true});
+  EXPECT_EQ(hybrid_gate_cost(Gate::mcry(five, 6, 0.5)), 32);
+  EXPECT_EQ(hybrid_gate_cost(Gate::mcry(six, 7, 0.5)), 54);
+}
+
+TEST(Hybrid, AccountedCostAtMostLoweredCost) {
+  Rng rng(302);
+  const QuantumState target = make_random_uniform(9, 9, rng);
+  const HybridResult res = hybrid_prepare(target);
+  ASSERT_FALSE(res.timed_out);
+  EXPECT_LE(res.accounted_cnots,
+            count_cnots_after_lowering(res.circuit));
+}
+
+TEST(Hybrid, CostSitsBetweenFlowsOnSparse) {
+  // Table V sparse shape: m-flow < hybrid < n-flow (2^n - 2).
+  Rng rng(303);
+  const int n = 10;
+  double hybrid_total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const QuantumState target = make_random_uniform(n, n, rng);
+    const HybridResult res = hybrid_prepare(target);
+    ASSERT_FALSE(res.timed_out);
+    hybrid_total += static_cast<double>(res.accounted_cnots);
+  }
+  const double avg = hybrid_total / 5;
+  EXPECT_LT(avg, static_cast<double>((1 << n) - 2));
+  EXPECT_GT(avg, 40.0);  // well above the m-flow scale would be ~60-100
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,126 @@
+// End-to-end checks that tie the whole system together: every method
+// prepares the same states (verified on the simulator), and the paper's
+// headline relations hold on the reproduced instances.
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.hpp"
+#include "circuit/qasm.hpp"
+#include "core/exact_synthesizer.hpp"
+#include "flow/methods.hpp"
+#include "prep/dicke.hpp"
+#include "prep/nflow.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Integration, MotivatingExampleCostOrdering) {
+  // Section III: qubit reduction -> 6 CNOTs, cardinality reduction -> 7,
+  // exact synthesis -> 2 on psi = (|000>+|011>+|101>+|110>)/2.
+  const QuantumState psi = make_uniform(3, {0b000, 0b011, 0b101, 0b110});
+
+  const Circuit nflow = nflow_prepare(psi);
+  verify_preparation_or_throw(nflow, psi);
+  EXPECT_EQ(count_cnots_after_lowering(nflow), 6);
+
+  const MethodRun mflow = run_method(Method::kMFlow, psi);
+  ASSERT_TRUE(mflow.ok);
+  verify_preparation_or_throw(mflow.circuit, psi);
+  EXPECT_GE(mflow.cnots, 5);  // paper reports 7 for its merge order
+
+  const ExactSynthesizer exact;
+  const SynthesisResult ours = exact.synthesize(psi);
+  ASSERT_TRUE(ours.found && ours.optimal);
+  EXPECT_EQ(ours.cnot_cost, 2);
+  verify_preparation_or_throw(ours.circuit, psi);
+
+  EXPECT_LT(ours.cnot_cost, mflow.cnots);
+  EXPECT_LT(ours.cnot_cost, count_cnots_after_lowering(nflow));
+}
+
+TEST(Integration, DickeHeadlineResult) {
+  // Ours beats the best manual design by 2x on |D^2_4>.
+  const ExactSynthesizer exact;
+  const SynthesisResult res = exact.synthesize(make_dicke(4, 2));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.cnot_cost, 6);
+  EXPECT_EQ(mukherjee_dicke_cnot_count(4, 2), 12);
+}
+
+TEST(Integration, ExactNeverWorseThanManualOnSmallDicke) {
+  const ExactSynthesizer exact;
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {3, 1}, {4, 1}, {4, 2}}) {
+    const QuantumState target = make_dicke(n, k);
+    const SynthesisResult res = exact.synthesize(target);
+    ASSERT_TRUE(res.found) << n << "," << k;
+    verify_preparation_or_throw(res.circuit, target);
+    EXPECT_LE(res.cnot_cost, mukherjee_dicke_cnot_count(n, k))
+        << n << "," << k;
+  }
+}
+
+TEST(Integration, AllMethodsAgreeOnPreparedState) {
+  Rng rng(501);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 5 + static_cast<int>(rng.next_below(3));
+    const QuantumState target = make_random_uniform(n, n, rng);
+    for (const Method m :
+         {Method::kMFlow, Method::kNFlow, Method::kHybrid, Method::kOurs}) {
+      const MethodRun run = run_method(m, target);
+      ASSERT_TRUE(run.ok) << method_name(m);
+      verify_preparation_or_throw(run.circuit, target);
+    }
+  }
+}
+
+TEST(Integration, SparseShapeMatchesTableFive) {
+  // For sparse states: ours <= m-flow < hybrid-ish < n-flow on average.
+  Rng rng(502);
+  const int n = 10;
+  double totals[4] = {0, 0, 0, 0};
+  const Method order[4] = {Method::kOurs, Method::kMFlow, Method::kHybrid,
+                           Method::kNFlow};
+  for (int trial = 0; trial < 5; ++trial) {
+    const QuantumState target = make_random_uniform(n, n, rng);
+    for (int i = 0; i < 4; ++i) {
+      const MethodRun run = run_method(order[i], target);
+      ASSERT_TRUE(run.ok);
+      totals[i] += static_cast<double>(run.cnots);
+    }
+  }
+  EXPECT_LT(totals[0], totals[1]);  // ours < m-flow
+  EXPECT_LT(totals[1], totals[3]);  // m-flow < n-flow
+  EXPECT_LT(totals[2], totals[3]);  // hybrid < n-flow
+}
+
+TEST(Integration, QasmExportOfSynthesizedCircuitIsPrimitive) {
+  const ExactSynthesizer exact;
+  const SynthesisResult res = exact.synthesize(make_dicke(4, 2));
+  ASSERT_TRUE(res.found);
+  const std::string qasm = to_qasm(res.circuit);
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_EQ(qasm.find("UCRy"), std::string::npos);
+}
+
+TEST(Integration, OptimalCostLowerBoundedByHeuristic) {
+  Rng rng(503);
+  const AStarSynthesizer exact;
+  for (int trial = 0; trial < 8; ++trial) {
+    const QuantumState target = make_random_uniform(4, 5, rng);
+    const auto slot = SlotState::from_state(target);
+    ASSERT_TRUE(slot.has_value());
+    const SynthesisResult res = exact.synthesize(*slot);
+    ASSERT_TRUE(res.found && res.optimal);
+    EXPECT_GE(res.cnot_cost,
+              heuristic_lower_bound(*slot, HeuristicMode::kComponent));
+    EXPECT_GE(res.cnot_cost,
+              heuristic_lower_bound(*slot, HeuristicMode::kPair));
+  }
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,143 @@
+#include "circuit/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+/// Unitary-equality check on the full basis: applies both circuits to each
+/// computational basis state and compares the resulting vectors.
+void expect_same_unitary(const Circuit& a, const Circuit& b, int n) {
+  for (BasisIndex x = 0; x < (BasisIndex{1} << n); ++x) {
+    std::vector<double> basis(std::size_t{1} << n, 0.0);
+    basis[x] = 1.0;
+    Statevector sa(QuantumState::from_dense(n, basis));
+    Statevector sb(QuantumState::from_dense(n, basis));
+    sa.apply(a);
+    sb.apply(b);
+    for (std::size_t i = 0; i < sa.amplitudes().size(); ++i) {
+      ASSERT_NEAR(sa.amplitudes()[i], sb.amplitudes()[i], 1e-9)
+          << "basis " << x << " component " << i;
+    }
+  }
+}
+
+TEST(Lowering, CryCostsTwoCnots) {
+  Circuit c(2);
+  c.append(Gate::cry(0, 1, 0.7));
+  const Circuit low = lower(c);
+  EXPECT_EQ(lowered_cnot_count(low), 2);
+  expect_same_unitary(c, low, 2);
+}
+
+TEST(Lowering, NegativeControlCry) {
+  Circuit c(2);
+  c.append(Gate::cry(0, 1, 1.1, /*positive=*/false));
+  const Circuit low = lower(c);
+  EXPECT_EQ(lowered_cnot_count(low), 2);
+  expect_same_unitary(c, low, 2);
+}
+
+TEST(Lowering, NegativeControlCnot) {
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1, /*positive=*/false));
+  const Circuit low = lower(c);
+  EXPECT_EQ(lowered_cnot_count(low), 1);
+  expect_same_unitary(c, low, 2);
+}
+
+TEST(Lowering, McryCostsPowerOfTwo) {
+  for (int controls = 2; controls <= 4; ++controls) {
+    Circuit c(controls + 1);
+    std::vector<ControlLiteral> literals;
+    for (int q = 0; q < controls; ++q) {
+      literals.push_back(ControlLiteral{q, (q % 2) == 0});
+    }
+    c.append(Gate::mcry(literals, controls, 0.9));
+    const Circuit low = lower(c);
+    EXPECT_EQ(lowered_cnot_count(low), std::int64_t{1} << controls);
+    expect_same_unitary(c, low, controls + 1);
+  }
+}
+
+TEST(Lowering, UcryExactCost) {
+  Rng rng(17);
+  for (int controls = 1; controls <= 4; ++controls) {
+    std::vector<int> cq;
+    for (int q = 0; q < controls; ++q) cq.push_back(q);
+    std::vector<double> angles(std::size_t{1} << controls);
+    for (double& a : angles) a = rng.next_double(-3, 3);
+    Circuit c(controls + 1);
+    c.append(Gate::ucry(cq, controls, angles));
+    const Circuit low = lower(c);
+    EXPECT_EQ(lowered_cnot_count(low), std::int64_t{1} << controls);
+    expect_same_unitary(c, low, controls + 1);
+  }
+}
+
+TEST(Lowering, UcryElisionSavesOnZeroAngles) {
+  // Angle table constant on one control: half the multiplexor rotations
+  // vanish in the Walsh basis and elision shortens the chain.
+  Circuit c(3);
+  c.append(Gate::ucry({0, 1}, 2, {0.5, 0.5, 0.5, 0.5}));
+  LoweringOptions elide;
+  elide.elide_zero_rotations = true;
+  const Circuit low = lower(c, elide);
+  EXPECT_LT(lowered_cnot_count(low), 4);
+  expect_same_unitary(c, low, 3);
+}
+
+TEST(Lowering, ElisionPreservesUnitaryOnRandomTables) {
+  Rng rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> angles(8);
+    for (double& a : angles) {
+      a = rng.next_bool(0.4) ? 0.0 : rng.next_double(-2, 2);
+    }
+    Circuit c(4);
+    c.append(Gate::ucry({0, 1, 2}, 3, angles));
+    LoweringOptions elide;
+    elide.elide_zero_rotations = true;
+    const Circuit low = lower(c, elide);
+    expect_same_unitary(c, low, 4);
+    EXPECT_LE(lowered_cnot_count(low), 8);
+  }
+}
+
+TEST(Lowering, MultiplexorAnglesInvertWalsh) {
+  // ucry_multiplexor_angles must satisfy: pattern angle a[s] =
+  // sum_j (-1)^{popcount(s & gray(j))} phi[j].
+  Rng rng(31);
+  std::vector<double> a(8);
+  for (double& v : a) v = rng.next_double(-1, 1);
+  const auto phi = ucry_multiplexor_angles(a);
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    double acc = 0.0;
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      acc += (parity(s, gray_code(j)) != 0) ? -phi[j] : phi[j];
+    }
+    EXPECT_NEAR(acc, a[s], 1e-12);
+  }
+}
+
+TEST(Lowering, LoweredCountRejectsComposite) {
+  Circuit c(2);
+  c.append(Gate::cry(0, 1, 0.4));
+  EXPECT_THROW(lowered_cnot_count(c), std::invalid_argument);
+}
+
+TEST(Lowering, CountAfterLoweringHelper) {
+  Circuit c(3);
+  c.append(Gate::cry(0, 1, 0.4));
+  c.append(Gate::mcry({ControlLiteral{0, true}, ControlLiteral{1, true}}, 2,
+                      0.2));
+  EXPECT_EQ(count_cnots_after_lowering(c), 2 + 4);
+}
+
+}  // namespace
+}  // namespace qsp

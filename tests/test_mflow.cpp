@@ -1,0 +1,141 @@
+#include "prep/mflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(MFlow, PreparesSingleBasisState) {
+  const QuantumState s(3, {Term{0b101, 1.0}});
+  const MFlowResult res = mflow_prepare(s);
+  ASSERT_FALSE(res.timed_out);
+  verify_preparation_or_throw(res.circuit, s);
+  EXPECT_EQ(count_cnots_after_lowering(res.circuit), 0);
+}
+
+TEST(MFlow, PreparesGhz) {
+  const QuantumState ghz = make_ghz(4);
+  const MFlowResult res = mflow_prepare(ghz);
+  ASSERT_FALSE(res.timed_out);
+  verify_preparation_or_throw(res.circuit, ghz);
+}
+
+TEST(MFlow, PreparesRandomSparseStates) {
+  Rng rng(201);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(6));
+    const QuantumState target = make_random_uniform(n, n, rng);
+    const MFlowResult res = mflow_prepare(target);
+    ASSERT_FALSE(res.timed_out);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(MFlow, PreparesSignedStates) {
+  Rng rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(3));
+    const QuantumState target = make_random_real(n, n, rng);
+    const MFlowResult res = mflow_prepare(target);
+    ASSERT_FALSE(res.timed_out);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(MFlow, SparseCostScalesLikeMN) {
+  // O(mn) scaling: for m = n the cost should stay well below the n-flow
+  // 2^n - 2 wall, growing roughly linearly in n.
+  Rng rng(203);
+  const int samples = 5;
+  for (const int n : {8, 10, 12}) {
+    double total = 0;
+    for (int s = 0; s < samples; ++s) {
+      const QuantumState target = make_random_uniform(n, n, rng);
+      const MFlowResult res = mflow_prepare(target);
+      ASSERT_FALSE(res.timed_out);
+      total += static_cast<double>(count_cnots_after_lowering(res.circuit));
+    }
+    const double avg = total / samples;
+    EXPECT_LT(avg, static_cast<double>((1 << n) - 2)) << "n=" << n;
+    EXPECT_LT(avg, 60.0 * n) << "n=" << n;
+  }
+}
+
+TEST(MFlow, CheapestStrategyNotWorse) {
+  Rng rng(204);
+  double greedy_total = 0, cheap_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const QuantumState target = make_random_uniform(10, 10, rng);
+    MFlowOptions greedy;
+    greedy.strategy = MFlowOptions::PairStrategy::kGreedyFirst;
+    MFlowOptions cheap;
+    cheap.strategy = MFlowOptions::PairStrategy::kCheapest;
+    const auto g = mflow_prepare(target, greedy);
+    const auto c = mflow_prepare(target, cheap);
+    ASSERT_FALSE(g.timed_out || c.timed_out);
+    verify_preparation_or_throw(g.circuit, target);
+    verify_preparation_or_throw(c.circuit, target);
+    greedy_total += static_cast<double>(count_cnots_after_lowering(g.circuit));
+    cheap_total += static_cast<double>(count_cnots_after_lowering(c.circuit));
+  }
+  EXPECT_LE(cheap_total, greedy_total * 1.05);
+}
+
+TEST(MFlow, PrefixAdjacentStrategyVerifies) {
+  Rng rng(205);
+  MFlowOptions options;
+  options.strategy = MFlowOptions::PairStrategy::kPrefixAdjacent;
+  for (int trial = 0; trial < 6; ++trial) {
+    const QuantumState target = make_random_uniform(7, 7, rng);
+    const auto res = mflow_prepare(target, options);
+    ASSERT_FALSE(res.timed_out);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(MFlow, ReduceStopsAtPredicate) {
+  Rng rng(206);
+  const QuantumState target = make_random_uniform(8, 8, rng);
+  const auto reduction = mflow_reduce(
+      target,
+      [](const QuantumState& s) { return s.cardinality() <= 3; });
+  EXPECT_FALSE(reduction.timed_out);
+  EXPECT_LE(reduction.reduced.cardinality(), 3);
+  EXPECT_GE(reduction.reduced.cardinality(), 1);
+  // forward gates map target -> reduced: verify via adjoint preparation.
+  Circuit forward(8);
+  for (const Gate& g : reduction.forward_gates) forward.append(g);
+  Circuit prep(8);
+  // Prepare `reduced` trivially with a nested mflow, then undo.
+  const MFlowResult tail = mflow_prepare(reduction.reduced);
+  ASSERT_FALSE(tail.timed_out);
+  prep.append(tail.circuit);
+  prep.append(forward.adjoint());
+  verify_preparation_or_throw(prep, target);
+}
+
+TEST(MFlow, TimeBudgetReportsTle) {
+  Rng rng(207);
+  // Effectively zero budget: must time out on a nontrivial state.
+  const QuantumState target = make_random_uniform(12, 64, rng);
+  MFlowOptions options;
+  options.time_budget_seconds = 1e-9;
+  const auto res = mflow_prepare(target, options);
+  EXPECT_TRUE(res.timed_out);
+}
+
+TEST(MFlow, DenseStatesVerify) {
+  Rng rng(208);
+  const QuantumState target = make_random_uniform(6, 32, rng);
+  const auto res = mflow_prepare(target);
+  ASSERT_FALSE(res.timed_out);
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,89 @@
+#include "prep/nflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/lowering.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(NFlow, PreparesRandomUniformStates) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(4));
+    const int m = 1 << (n - 1);
+    const QuantumState target = make_random_uniform(n, m, rng);
+    const Circuit c = nflow_prepare(target);
+    verify_preparation_or_throw(c, target);
+  }
+}
+
+TEST(NFlow, PreparesSignedStates) {
+  Rng rng(102);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(3));
+    const QuantumState target =
+        make_random_real(n, 1 << (n - 1), rng, /*allow_negative=*/true);
+    const Circuit c = nflow_prepare(target);
+    verify_preparation_or_throw(c, target);
+  }
+}
+
+TEST(NFlow, CostIsTwoToNMinusTwo) {
+  // The published n-flow column: plain lowering of the multiplexor chain
+  // costs exactly 2^n - 2 on generic states.
+  Rng rng(103);
+  for (const int n : {3, 4, 5, 6, 8, 10}) {
+    const QuantumState target = make_random_uniform(n, 1 << (n - 1), rng);
+    const Circuit c = nflow_prepare(target);
+    EXPECT_EQ(count_cnots_after_lowering(c), (std::int64_t{1} << n) - 2)
+        << "n=" << n;
+  }
+}
+
+TEST(NFlow, SparseStatesStillCostFullChain) {
+  // n-flow ignores sparsity (matching the published sparse column).
+  Rng rng(104);
+  const QuantumState target = make_random_uniform(8, 8, rng);
+  EXPECT_EQ(count_cnots_after_lowering(nflow_prepare(target)), 254);
+}
+
+TEST(NFlow, MarginalIsNormalizedPrefixMass) {
+  const QuantumState ghz = make_ghz(4);
+  const QuantumState marg = nflow_marginal(ghz, 2);
+  EXPECT_EQ(marg.num_qubits(), 2);
+  EXPECT_EQ(marg.cardinality(), 2);
+  EXPECT_NEAR(marg.amplitude(0b00), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(marg.amplitude(0b11), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_THROW(nflow_marginal(ghz, 0), std::invalid_argument);
+  EXPECT_THROW(nflow_marginal(ghz, 5), std::invalid_argument);
+}
+
+TEST(NFlow, StagesComposeWithMarginalPreparation) {
+  // Preparing the marginal on the first t qubits and then running stages
+  // t..n-1 must reproduce the full state.
+  Rng rng(105);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 5;
+    const int t = 2;
+    const QuantumState target = make_random_uniform(n, 16, rng);
+    const QuantumState marg = nflow_marginal(target, t);
+    Circuit c(n);
+    c.append(nflow_prepare(marg));
+    c.append(nflow_stages(target, t));
+    verify_preparation_or_throw(c, target);
+  }
+}
+
+TEST(NFlow, GhzCircuitIsExactOnSimulator) {
+  const QuantumState ghz = make_ghz(5);
+  verify_preparation_or_throw(nflow_prepare(ghz), ghz);
+}
+
+}  // namespace
+}  // namespace qsp

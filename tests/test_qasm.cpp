@@ -1,0 +1,56 @@
+#include "circuit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsp {
+namespace {
+
+TEST(Qasm, Header) {
+  Circuit c(3);
+  const std::string q = to_qasm(c);
+  EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+}
+
+TEST(Qasm, PrimitiveGates) {
+  Circuit c(2);
+  c.append(Gate::x(0));
+  c.append(Gate::ry(1, 0.5));
+  c.append(Gate::cnot(0, 1));
+  const std::string q = to_qasm(c);
+  EXPECT_NE(q.find("x q[0];"), std::string::npos);
+  EXPECT_NE(q.find("ry(0.5) q[1];"), std::string::npos);
+  EXPECT_NE(q.find("cx q[0],q[1];"), std::string::npos);
+}
+
+TEST(Qasm, CompositeGatesAreLowered) {
+  Circuit c(3);
+  c.append(Gate::mcry({ControlLiteral{0, true}, ControlLiteral{1, false}}, 2,
+                      1.2));
+  const std::string q = to_qasm(c);
+  // Only primitive mnemonics may appear.
+  EXPECT_EQ(q.find("mcry"), std::string::npos);
+  EXPECT_NE(q.find("cx q["), std::string::npos);
+  // 2 controls -> exactly 4 cx lines.
+  int cx = 0;
+  for (std::size_t pos = 0; (pos = q.find("cx ", pos)) != std::string::npos;
+       ++pos) {
+    ++cx;
+  }
+  EXPECT_EQ(cx, 4);
+}
+
+TEST(Qasm, NegativeControlUsesXConjugation) {
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1, /*positive=*/false));
+  const std::string q = to_qasm(c);
+  int x_count = 0;
+  for (std::size_t pos = 0; (pos = q.find("x q[0];", pos)) != std::string::npos;
+       ++pos) {
+    ++x_count;
+  }
+  EXPECT_EQ(x_count, 2);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,126 @@
+#include "state/quantum_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qsp {
+namespace {
+
+TEST(QuantumState, GroundState) {
+  const QuantumState g(3);
+  EXPECT_EQ(g.num_qubits(), 3);
+  EXPECT_EQ(g.cardinality(), 1);
+  EXPECT_TRUE(g.is_ground());
+  EXPECT_DOUBLE_EQ(g.amplitude(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.amplitude(5), 0.0);
+}
+
+TEST(QuantumState, NormalizesInput) {
+  const QuantumState s(2, {Term{0, 3.0}, Term{3, 4.0}});
+  EXPECT_NEAR(s.amplitude(0), 0.6, 1e-12);
+  EXPECT_NEAR(s.amplitude(3), 0.8, 1e-12);
+}
+
+TEST(QuantumState, MergesDuplicateIndices) {
+  const QuantumState s(2, {Term{1, 1.0}, Term{1, 1.0}, Term{2, 2.0}});
+  EXPECT_EQ(s.cardinality(), 2);
+  EXPECT_NEAR(s.amplitude(1) / s.amplitude(2), 1.0, 1e-12);
+}
+
+TEST(QuantumState, DropsCancellingTerms) {
+  const QuantumState s(2, {Term{1, 1.0}, Term{1, -1.0}, Term{2, 1.0}});
+  EXPECT_EQ(s.cardinality(), 1);
+  EXPECT_NEAR(std::abs(s.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(QuantumState, InvalidInputsThrow) {
+  EXPECT_THROW(QuantumState(0), std::invalid_argument);
+  EXPECT_THROW(QuantumState(25), std::invalid_argument);
+  EXPECT_THROW(QuantumState(2, {}), std::invalid_argument);
+  EXPECT_THROW(QuantumState(2, {Term{4, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(QuantumState(2, {Term{1, 0.0}}), std::invalid_argument);
+}
+
+TEST(QuantumState, DenseRoundTrip) {
+  const QuantumState s(3, {Term{0, 1.0}, Term{3, -1.0}, Term{6, 2.0}});
+  const auto dense = s.to_dense();
+  EXPECT_EQ(dense.size(), 8u);
+  const QuantumState back = QuantumState::from_dense(3, dense);
+  EXPECT_TRUE(back.approx_equal(s));
+  EXPECT_EQ(back, s);
+}
+
+TEST(QuantumState, InnerProductAndFidelity) {
+  const QuantumState a(2, {Term{0, 1.0}, Term{3, 1.0}});
+  const QuantumState b(2, {Term{0, 1.0}, Term{3, -1.0}});
+  EXPECT_NEAR(a.inner_product(a), 1.0, 1e-12);
+  EXPECT_NEAR(a.inner_product(b), 0.0, 1e-12);
+  EXPECT_NEAR(a.fidelity(b), 0.0, 1e-12);
+  EXPECT_TRUE(a.approx_equal(a));
+  EXPECT_FALSE(a.approx_equal(b));
+  const QuantumState c(3);
+  EXPECT_THROW(a.inner_product(c), std::invalid_argument);
+}
+
+TEST(QuantumState, GlobalSignInsensitive) {
+  const QuantumState a(2, {Term{1, 1.0}, Term{2, 1.0}});
+  const QuantumState b(2, {Term{1, -1.0}, Term{2, -1.0}});
+  EXPECT_TRUE(a.approx_equal(b));
+}
+
+TEST(QuantumState, IsUniform) {
+  const QuantumState u(2, {Term{0, 1.0}, Term{1, 1.0}, Term{2, 1.0}});
+  EXPECT_TRUE(u.is_uniform());
+  const QuantumState v(2, {Term{0, 1.0}, Term{1, 2.0}});
+  EXPECT_FALSE(v.is_uniform());
+  const QuantumState w(2, {Term{0, -1.0}, Term{1, -1.0}});
+  EXPECT_FALSE(w.is_uniform());  // uniform means amplitudes +1/sqrt(m)
+}
+
+TEST(QuantumState, CofactorIndices) {
+  // psi_1 from paper Fig. 4: (|000> + |010> + |101> + |111>)/2. The
+  // cofactors of the middle qubit coincide (separable candidate), while
+  // the outer qubits' cofactors differ (entangled pair).
+  const QuantumState s(3, {Term{0b000, 1.0}, Term{0b010, 1.0},
+                           Term{0b101, 1.0}, Term{0b111, 1.0}});
+  const auto c0 = s.cofactor_indices(1, 0);
+  const auto c1 = s.cofactor_indices(1, 1);
+  EXPECT_EQ(c0, c1);
+  EXPECT_NE(s.cofactor_indices(0, 0), s.cofactor_indices(0, 1));
+  EXPECT_NE(s.cofactor_indices(2, 0), s.cofactor_indices(2, 1));
+}
+
+TEST(QuantumState, QubitSeparable) {
+  // Product state (|0>+|1>)/sqrt2 x |0>: qubit 1 separable, constant.
+  const QuantumState p(2, {Term{0, 1.0}, Term{1, 1.0}});
+  EXPECT_TRUE(p.qubit_separable(0));
+  EXPECT_TRUE(p.qubit_separable(1));
+  // Bell state: neither qubit separable.
+  const QuantumState bell(2, {Term{0, 1.0}, Term{3, 1.0}});
+  EXPECT_FALSE(bell.qubit_separable(0));
+  EXPECT_FALSE(bell.qubit_separable(1));
+  // Motivating example: all three qubits entangled.
+  const QuantumState s(3, {Term{0b000, 1.0}, Term{0b011, 1.0},
+                           Term{0b101, 1.0}, Term{0b110, 1.0}});
+  EXPECT_FALSE(s.qubit_separable(0));
+  EXPECT_FALSE(s.qubit_separable(1));
+  EXPECT_FALSE(s.qubit_separable(2));
+  // Proportional-amplitude separability with a ratio != 1.
+  const QuantumState r(2, {Term{0b00, 2.0}, Term{0b01, 2.0}, Term{0b10, 1.0},
+                           Term{0b11, 1.0}});
+  EXPECT_TRUE(r.qubit_separable(0));
+  EXPECT_TRUE(r.qubit_separable(1));
+}
+
+TEST(QuantumState, ToString) {
+  const QuantumState s(2, {Term{0, 1.0}, Term{3, -1.0}});
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("|00>"), std::string::npos);
+  EXPECT_NE(str.find("|11>"), std::string::npos);
+  EXPECT_NE(str.find(" - "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsp

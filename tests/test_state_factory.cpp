@@ -1,0 +1,88 @@
+#include "state/state_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/combinatorics.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(StateFactory, Ghz) {
+  const QuantumState ghz = make_ghz(4);
+  EXPECT_EQ(ghz.cardinality(), 2);
+  EXPECT_NEAR(ghz.amplitude(0b0000), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(ghz.amplitude(0b1111), 1 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(StateFactory, WState) {
+  const QuantumState w = make_w(3);
+  EXPECT_EQ(w.cardinality(), 3);
+  for (const BasisIndex x : {0b001u, 0b010u, 0b100u}) {
+    EXPECT_NEAR(w.amplitude(x), 1 / std::sqrt(3.0), 1e-12);
+  }
+}
+
+TEST(StateFactory, DickeCardinality) {
+  for (int n = 2; n <= 6; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      const QuantumState d = make_dicke(n, k);
+      EXPECT_EQ(d.cardinality(),
+                static_cast<int>(binomial(static_cast<unsigned>(n),
+                                          static_cast<unsigned>(k))));
+      EXPECT_TRUE(d.is_uniform());
+      for (const Term& t : d.terms()) {
+        EXPECT_EQ(popcount(t.index), k);
+      }
+    }
+  }
+  EXPECT_THROW(make_dicke(3, 4), std::invalid_argument);
+  EXPECT_THROW(make_dicke(3, -1), std::invalid_argument);
+}
+
+TEST(StateFactory, UniformRejectsDuplicates) {
+  EXPECT_THROW(make_uniform(2, {1, 1}), std::invalid_argument);
+  const QuantumState u = make_uniform(2, {0, 3});
+  EXPECT_TRUE(u.is_uniform());
+}
+
+TEST(StateFactory, RandomUniformProperties) {
+  Rng rng(123);
+  for (int n = 3; n <= 8; ++n) {
+    const int m = n;  // sparse setting
+    const QuantumState s = make_random_uniform(n, m, rng);
+    EXPECT_EQ(s.num_qubits(), n);
+    EXPECT_EQ(s.cardinality(), m);
+    EXPECT_TRUE(s.is_uniform());
+  }
+  // Dense setting.
+  const QuantumState d = make_random_uniform(6, 32, rng);
+  EXPECT_EQ(d.cardinality(), 32);
+  EXPECT_TRUE(d.is_uniform());
+  EXPECT_THROW(make_random_uniform(3, 0, rng), std::invalid_argument);
+}
+
+TEST(StateFactory, RandomUniformIsSeedDeterministic) {
+  Rng a(99), b(99);
+  const QuantumState sa = make_random_uniform(10, 10, a);
+  const QuantumState sb = make_random_uniform(10, 10, b);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(StateFactory, RandomRealSigns) {
+  Rng rng(7);
+  const QuantumState s = make_random_real(5, 8, rng, /*allow_negative=*/true);
+  EXPECT_EQ(s.cardinality(), 8);
+  bool has_negative = false;
+  for (const Term& t : s.terms()) has_negative |= t.amplitude < 0;
+  // With 8 signed amplitudes the chance of all-positive is 1/256; the
+  // fixed seed makes this deterministic.
+  EXPECT_TRUE(has_negative);
+  const QuantumState p = make_random_real(5, 8, rng, /*allow_negative=*/false);
+  for (const Term& t : p.terms()) EXPECT_GT(t.amplitude, 0.0);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,121 @@
+#include "sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Statevector, InitialGround) {
+  const Statevector sv(3);
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[0], 1.0);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, XGate) {
+  Statevector sv(2);
+  sv.apply(Gate::x(0));
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[1], 1.0);
+  sv.apply(Gate::x(1));
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[3], 1.0);
+  sv.apply(Gate::x(0));
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[2], 1.0);
+}
+
+TEST(Statevector, RyConvention) {
+  Statevector sv(1);
+  sv.apply(Gate::ry(0, M_PI / 2));
+  // Ry(pi/2)|0> = (|0> + |1>)/sqrt2 in the standard convention.
+  EXPECT_NEAR(sv.amplitudes()[0], 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(sv.amplitudes()[1], 1 / std::sqrt(2.0), 1e-12);
+  // Ry(pi) maps |+> to ... and |1> -> -|0>: check on fresh state.
+  Statevector sv2(1);
+  sv2.apply(Gate::x(0));
+  sv2.apply(Gate::ry(0, M_PI));
+  EXPECT_NEAR(sv2.amplitudes()[0], -1.0, 1e-12);
+}
+
+TEST(Statevector, CnotPolarity) {
+  Statevector sv(2);
+  sv.apply(Gate::cnot(0, 1));  // control |0>-state qubit 0 = 0 -> inactive
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[0], 1.0);
+  sv.apply(Gate::cnot(0, 1, /*positive=*/false));  // fires
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[2], 1.0);
+}
+
+TEST(Statevector, GhzConstruction) {
+  Statevector sv(3);
+  sv.apply(Gate::ry(0, M_PI / 2));
+  sv.apply(Gate::cnot(0, 1));
+  sv.apply(Gate::cnot(1, 2));
+  const QuantumState ghz = make_ghz(3);
+  EXPECT_NEAR(std::abs(sv.inner_product(ghz)), 1.0, 1e-12);
+}
+
+TEST(Statevector, CryOnlyFiresWhenControlSet) {
+  Statevector sv(2);
+  sv.apply(Gate::cry(0, 1, M_PI / 2));
+  EXPECT_DOUBLE_EQ(sv.amplitudes()[0], 1.0);  // control is |0>
+  sv.apply(Gate::x(0));
+  sv.apply(Gate::cry(0, 1, M_PI));
+  // Now qubit1 rotated fully: |01> -> |11> (up to convention sign).
+  EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 1.0, 1e-12);
+}
+
+TEST(Statevector, McryMatchesPatternOnly) {
+  Statevector sv(3);
+  sv.apply(Gate::mcry({ControlLiteral{0, false}, ControlLiteral{1, false}},
+                      2, M_PI));
+  // Pattern (q0=0, q1=0) satisfied at ground -> q2 flips.
+  EXPECT_NEAR(std::abs(sv.amplitudes()[4]), 1.0, 1e-12);
+}
+
+TEST(Statevector, UcryAppliesPerPattern) {
+  // Prepare |+>|0>, then UCRy on qubit 1 with angles (0, pi): flips qubit 1
+  // only on the q0=1 branch.
+  Statevector sv(2);
+  sv.apply(Gate::ry(0, M_PI / 2));
+  sv.apply(Gate::ucry({0}, 1, {0.0, M_PI}));
+  EXPECT_NEAR(sv.amplitudes()[0], 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(sv.amplitudes()[1], 0.0, 1e-12);
+}
+
+TEST(Statevector, NormPreservedByRandomCircuits) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4;
+    Statevector sv(n);
+    for (int g = 0; g < 30; ++g) {
+      const int t = static_cast<int>(rng.next_below(n));
+      const int c = (t + 1 + static_cast<int>(rng.next_below(n - 1))) % n;
+      switch (rng.next_below(3)) {
+        case 0:
+          sv.apply(Gate::ry(t, rng.next_double(-3, 3)));
+          break;
+        case 1:
+          sv.apply(Gate::cnot(c, t, rng.next_bool()));
+          break;
+        default:
+          sv.apply(Gate::cry(c, t, rng.next_double(-3, 3)));
+          break;
+      }
+    }
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(Statevector, StartFromSparseState) {
+  const QuantumState dicke = make_dicke(4, 2);
+  Statevector sv(dicke);
+  EXPECT_NEAR(sv.inner_product(dicke), 1.0, 1e-12);
+  const QuantumState back = sv.to_state();
+  EXPECT_TRUE(back.approx_equal(dicke));
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qsp {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"n", "method", "cnots"});
+  t.add_row({"3", "ours", "5"});
+  t.add_row({"12", "m-flow", "178996"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("178996"), std::string::npos);
+  EXPECT_NE(out.find("ours"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorAddsRule) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header rule + top + bottom + explicit separator = 4 horizontal rules.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTable, Formatting) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(std::uint64_t{12870}), "12870");
+  EXPECT_EQ(TextTable::fmt(-7), "-7");
+  EXPECT_EQ(TextTable::fmt_percent(0.321, 0), "32%");
+  EXPECT_EQ(TextTable::fmt_percent(-0.05, 1), "-5.0%");
+}
+
+}  // namespace
+}  // namespace qsp

@@ -1,0 +1,67 @@
+#include "sim/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "state/state_factory.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Verifier, AcceptsCorrectGhzCircuit) {
+  Circuit c(3);
+  c.append(Gate::ry(0, M_PI / 2));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(1, 2));
+  const auto r = verify_preparation(c, make_ghz(3));
+  EXPECT_TRUE(r.ok);
+  EXPECT_NEAR(r.fidelity, 1.0, 1e-9);
+  EXPECT_NO_THROW(verify_preparation_or_throw(c, make_ghz(3)));
+}
+
+TEST(Verifier, RejectsWrongCircuit) {
+  Circuit c(3);
+  c.append(Gate::x(0));
+  const auto r = verify_preparation(c, make_ghz(3));
+  EXPECT_FALSE(r.ok);
+  EXPECT_LT(r.fidelity, 0.9);
+  EXPECT_THROW(verify_preparation_or_throw(c, make_ghz(3)),
+               std::runtime_error);
+}
+
+TEST(Verifier, GlobalSignIgnored) {
+  // Prepare -|1> via Ry(-pi): |0> -> -|1>... check the verifier treats the
+  // global sign as unobservable.
+  Circuit c(1);
+  c.append(Gate::ry(0, -M_PI));
+  const QuantumState one(1, {Term{1, 1.0}});
+  EXPECT_TRUE(verify_preparation(c, one).ok);
+}
+
+TEST(Verifier, AncillaMustReturnToZero) {
+  // Circuit on 3 qubits, target on 2: ancilla left in |1> must fail.
+  Circuit bad(3);
+  bad.append(Gate::ry(0, M_PI / 2));
+  bad.append(Gate::cnot(0, 1));
+  bad.append(Gate::x(2));
+  const auto r = verify_preparation(bad, make_ghz(2));
+  EXPECT_FALSE(r.ok);
+
+  Circuit good(3);
+  good.append(Gate::ry(0, M_PI / 2));
+  good.append(Gate::cnot(0, 1));
+  good.append(Gate::x(2));
+  good.append(Gate::x(2));
+  EXPECT_TRUE(verify_preparation(good, make_ghz(2)).ok);
+}
+
+TEST(Verifier, NarrowCircuitRejected) {
+  const Circuit c(2);
+  const auto r = verify_preparation(c, make_ghz(3));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("narrower"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsp

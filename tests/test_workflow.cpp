@@ -1,0 +1,161 @@
+#include "flow/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/lowering.hpp"
+#include "flow/methods.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+TEST(Workflow, TinyStatesUseExactDirectly) {
+  const Solver solver;
+  const QuantumState target = make_dicke(4, 2);
+  const WorkflowResult res = solver.prepare(target);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.used_exact_tail);
+  verify_preparation_or_throw(res.circuit, target);
+  EXPECT_EQ(count_cnots_after_lowering(res.circuit), 6);
+}
+
+TEST(Workflow, SparseDispatch) {
+  Rng rng(401);
+  const Solver solver;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 6 + static_cast<int>(rng.next_below(5));
+    const QuantumState target = make_random_uniform(n, n, rng);
+    const WorkflowResult res = solver.prepare(target);
+    ASSERT_TRUE(res.found) << target.to_string();
+    EXPECT_TRUE(res.sparse_path);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(Workflow, DenseDispatch) {
+  Rng rng(402);
+  const Solver solver;
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 5 + static_cast<int>(rng.next_below(3));
+    const QuantumState target = make_random_uniform(n, 1 << (n - 1), rng);
+    const WorkflowResult res = solver.prepare(target);
+    ASSERT_TRUE(res.found);
+    EXPECT_FALSE(res.sparse_path);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(Workflow, BeatsOrMatchesBestBaselinePerCategory) {
+  Rng rng(403);
+  // Sparse: ours vs m-flow.
+  double ours_sparse = 0, mflow_sparse = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const QuantumState target = make_random_uniform(9, 9, rng);
+    const MethodRun ours = run_method(Method::kOurs, target);
+    const MethodRun mflow = run_method(Method::kMFlow, target);
+    ASSERT_TRUE(ours.ok && mflow.ok);
+    ours_sparse += static_cast<double>(ours.cnots);
+    mflow_sparse += static_cast<double>(mflow.cnots);
+  }
+  EXPECT_LT(ours_sparse, mflow_sparse);
+
+  // Dense: ours vs n-flow.
+  double ours_dense = 0, nflow_dense = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const QuantumState target = make_random_uniform(6, 32, rng);
+    const MethodRun ours = run_method(Method::kOurs, target);
+    const MethodRun nflow = run_method(Method::kNFlow, target);
+    ASSERT_TRUE(ours.ok && nflow.ok);
+    ours_dense += static_cast<double>(ours.cnots);
+    nflow_dense += static_cast<double>(nflow.cnots);
+  }
+  EXPECT_LE(ours_dense, nflow_dense);
+}
+
+TEST(Workflow, HandlesSignedStatesViaFallback) {
+  Rng rng(404);
+  const Solver solver;
+  for (int trial = 0; trial < 5; ++trial) {
+    const QuantumState target = make_random_real(7, 7, rng);
+    const WorkflowResult res = solver.prepare(target);
+    ASSERT_TRUE(res.found);
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(Workflow, ExactTailHelperVerifies) {
+  Rng rng(405);
+  // Generous budgets so the exact kernel always completes regardless of
+  // machine load (the default wall-clock budgets can expire when the test
+  // suite runs highly parallel).
+  WorkflowOptions options;
+  options.exact.astar.time_budget_seconds = 0.0;
+  options.exact.astar.node_budget = 5'000'000;
+  const Solver solver(options);
+  for (int trial = 0; trial < 6; ++trial) {
+    const QuantumState target = make_random_uniform(4, 8, rng);
+    bool used_exact = false;
+    const Circuit c = solver.prepare_via_exact_tail(target, &used_exact);
+    EXPECT_TRUE(used_exact);
+    verify_preparation_or_throw(c, target);
+  }
+}
+
+TEST(Workflow, ExactTailPeelsSeparableQubits) {
+  // 6-qubit state with a 2-qubit entangled core: tail must peel and use
+  // the exact kernel despite n > exact_max_qubits.
+  const QuantumState target = make_uniform(
+      6, {0b000000, 0b000011, 0b110000, 0b110011, 0b001000, 0b001011,
+          0b111000, 0b111011});
+  // Support = Bell(q0,q1) x |+>(q3) x Bell(q4,q5)... cardinality 8.
+  const Solver solver;
+  const WorkflowResult res = solver.prepare(target);
+  ASSERT_TRUE(res.found);
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+TEST(Workflow, MethodRegistryNamesAndRuns) {
+  EXPECT_EQ(method_name(Method::kMFlow), "m-flow");
+  EXPECT_EQ(method_name(Method::kNFlow), "n-flow");
+  EXPECT_EQ(method_name(Method::kHybrid), "hybrid");
+  EXPECT_EQ(method_name(Method::kOurs), "ours");
+  Rng rng(406);
+  const QuantumState target = make_random_uniform(6, 6, rng);
+  for (const Method m :
+       {Method::kMFlow, Method::kNFlow, Method::kHybrid, Method::kOurs}) {
+    const MethodRun run = run_method(m, target);
+    ASSERT_TRUE(run.ok) << method_name(m);
+    EXPECT_GE(run.cnots, 0) << method_name(m);
+    verify_preparation_or_throw(run.circuit, target);
+  }
+}
+
+TEST(Workflow, BorderlineDenseDualPathBeatsQubitReduction) {
+  // |D^2_6> has n*m = 90 >= 2^6, so the fixed Fig.-5 dispatch would pay
+  // the dense 2^6 - 2 = 62 CNOTs; the dual-path refinement runs the
+  // sparse machinery too and must come in strictly cheaper.
+  const QuantumState target = make_dicke(6, 2);
+  const Solver solver;
+  const WorkflowResult res = solver.prepare(target);
+  ASSERT_TRUE(res.found);
+  verify_preparation_or_throw(res.circuit, target);
+  LoweringOptions elide;
+  elide.elide_zero_rotations = true;
+  EXPECT_LT(count_cnots_after_lowering(res.circuit, elide), 62);
+}
+
+TEST(Workflow, TimedOutReported) {
+  Rng rng(407);
+  const QuantumState target = make_random_uniform(14, 128, rng);
+  WorkflowOptions options;
+  options.time_budget_seconds = 1e-9;
+  const Solver solver(options);
+  const WorkflowResult res = solver.prepare(target);
+  // Sparse path (14*128 < 2^14): the reduction must hit the deadline.
+  EXPECT_TRUE(res.timed_out || res.found);
+}
+
+}  // namespace
+}  // namespace qsp
