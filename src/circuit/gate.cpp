@@ -167,7 +167,8 @@ std::string Gate::to_string() const {
     std::string s;
     for (const auto& c : controls_) {
       if (!s.empty()) s += ',';
-      s += (c.positive ? "" : "!") + std::to_string(c.qubit);
+      if (!c.positive) s += '!';
+      s += std::to_string(c.qubit);
     }
     return s;
   };

@@ -19,12 +19,16 @@ enum class Method {
   kOurs,    ///< Fig. 5 workflow with the exact kernel
 };
 
+/// Human-readable name used in the benchmark tables ("m-flow", "ours", ...).
 std::string method_name(Method method);
 
 struct MethodRun {
+  /// The method produced (and, where feasible, verified) a circuit.
   bool ok = false;
   bool timed_out = false;
+  /// CNOT count under the method's accounting; -1 when not ok.
   std::int64_t cnots = -1;
+  /// Wall-clock synthesis time.
   double seconds = 0.0;
   Circuit circuit{1};
 };

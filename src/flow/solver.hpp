@@ -29,6 +29,7 @@ struct WorkflowOptions {
   /// Dense path: for borderline densities (cardinality at most this), run
   /// the sparse path as well and keep the cheaper circuit.
   int dual_path_max_cardinality = 64;
+  /// Abort the whole workflow after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
 
   WorkflowOptions() {

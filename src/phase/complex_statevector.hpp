@@ -13,7 +13,9 @@ namespace qsp {
 
 class ComplexStatevector {
  public:
+  /// Start in |0...0>.
   explicit ComplexStatevector(int num_qubits);
+  /// Start in a given (sparse) state, densified.
   explicit ComplexStatevector(const ComplexState& state);
 
   int num_qubits() const { return num_qubits_; }
@@ -27,6 +29,7 @@ class ComplexStatevector {
   /// |<this|state>|^2 (global-phase insensitive).
   double fidelity(const ComplexState& state) const;
 
+  /// Sparsify back to a ComplexState (drops sub-epsilon amplitudes).
   ComplexState to_state() const;
 
  private:

@@ -2,7 +2,7 @@
 // Surrogate for the "hybrid" baseline (Mozafari et al., PRA 106:022617,
 // 2022): a decision-diagram-guided preparation using one ancilla qubit.
 //
-// Substitution note (see DESIGN.md): the published algorithm walks a
+// Substitution note: the published algorithm walks a
 // reduced decision diagram and uses the ancilla to track path conditions
 // with linear-cost multi-controlled gates. We reproduce its cost class by
 // (a) merging support pairs in decision-diagram order (deepest shared
@@ -33,6 +33,8 @@ std::int64_t hybrid_gate_cost(const Gate& gate);
 /// CNOT cost of a circuit under the hybrid accounting.
 std::int64_t hybrid_cnot_count(const Circuit& circuit);
 
+/// Prepare `target` with the one-ancilla decision-diagram surrogate.
+/// A zero time budget means unlimited.
 HybridResult hybrid_prepare(const QuantumState& target,
                             double time_budget_seconds = 0.0);
 
