@@ -78,6 +78,13 @@ int main() {
       }
       totals[t] += static_cast<double>(res.cnot_cost);
       row.push_back(TextTable::fmt(res.cnot_cost));
+      bench::json_row("ablation_coupling",
+                      {{"instance", c.name},
+                       {"topology", topologies[t].name},
+                       {"cnot_cost", res.cnot_cost},
+                       {"optimal", res.optimal},
+                       {"seconds", res.stats.seconds},
+                       {"threads", 1}});
     }
     table.add_row(std::move(row));
   }

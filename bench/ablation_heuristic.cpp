@@ -61,6 +61,15 @@ int main() {
                      TextTable::fmt(res.stats.nodes_expanded),
                      TextTable::fmt(res.stats.classes_stored),
                      TextTable::fmt(res.stats.seconds, 3)});
+      bench::json_row("ablation_heuristic",
+                      {{"instance", c.name},
+                       {"heuristic", name},
+                       {"cnot_cost", res.cnot_cost},
+                       {"optimal", res.optimal},
+                       {"seconds", res.stats.seconds},
+                       {"threads", 1},
+                       {"nodes_expanded", res.stats.nodes_expanded},
+                       {"classes_stored", res.stats.classes_stored}});
     }
     table.add_separator();
   }

@@ -60,6 +60,22 @@ int main() {
                      TextTable::fmt(cnots / samples, 1),
                      TextTable::fmt(seconds / samples, 3),
                      TextTable::fmt(tails) + "/" + TextTable::fmt(samples)});
+      bench::json_row(
+          "ablation_threshold",
+          {{"instance", std::string(dense ? "dense" : "sparse") +
+                            " n=" + std::to_string(n) + " threshold=(" +
+                            std::to_string(tq) + "," + std::to_string(tm) +
+                            ")"},
+           {"family", dense ? "dense" : "sparse"},
+           {"n", n},
+           {"m", m},
+           {"threshold_qubits", tq},
+           {"threshold_cardinality", tm},
+           {"cnot_cost", cnots / samples},
+           {"optimal", false},
+           {"seconds", seconds / samples},
+           {"threads", 1},
+           {"exact_tails_used", tails}});
     }
     std::cout << table.render() << "\n";
   }

@@ -54,6 +54,17 @@ int main() {
                      TextTable::fmt(mag_cnots),
                      TextTable::fmt(total - mag_cnots),
                      TextTable::fmt(total), "yes"});
+      bench::json_row("ext_complex_phase",
+                      {{"instance",
+                        "n=" + std::to_string(n) + " m=" + std::to_string(m)},
+                       {"n", n},
+                       {"m", m},
+                       {"magnitude_cnots", mag_cnots},
+                       {"oracle_cnots", total - mag_cnots},
+                       {"cnot_cost", total},
+                       {"optimal", false},
+                       {"seconds", 0.0},
+                       {"threads", 1}});
     }
   }
   std::cout << table.render();

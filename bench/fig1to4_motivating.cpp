@@ -22,13 +22,21 @@ namespace {
 using namespace qsp;
 
 void show(const std::string& figure, const std::string& method,
-          const Circuit& circuit, const QuantumState& target) {
+          const Circuit& circuit, const QuantumState& target,
+          bool optimal = false) {
   const std::string ok = bench::verify_cell(circuit, target);
   bench::check_verified(ok, figure);
   std::cout << figure << " - " << method << ": "
             << count_cnots_after_lowering(circuit)
             << " CNOTs (verified: " << ok << ")\n"
             << circuit.draw() << "\n";
+  bench::json_row("fig1to4_motivating",
+                  {{"instance", figure},
+                   {"method", method},
+                   {"cnot_cost", count_cnots_after_lowering(circuit)},
+                   {"optimal", optimal},
+                   {"seconds", 0.0},
+                   {"threads", 1}});
 }
 
 }  // namespace
@@ -50,7 +58,7 @@ int main() {
 
   const ExactSynthesizer exact;
   const SynthesisResult ours = exact.synthesize(psi);
-  show("Fig. 3", "exact synthesis (ours)", ours.circuit, psi);
+  show("Fig. 3", "exact synthesis (ours)", ours.circuit, psi, ours.optimal);
 
   // Fig. 4: walk the preparation circuit backwards (target -> ground) and
   // print each visited state with the arc's gate and cost, reproducing the

@@ -1,13 +1,18 @@
 // Google-benchmark microbenchmarks for the exact-synthesis primitives:
 // canonical keys, move enumeration, arc application, heuristics, the A*
-// kernel on the paper's headline instance, and statevector simulation.
+// kernel (serial and sharded HDA*) on the paper's headline instance, and
+// statevector simulation. The A* benchmarks attach the queue-pressure
+// stats (peak_open, stale_pops) as counters, and after the benchmark run
+// one json_row per kernel instance records the canonical schema.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/astar.hpp"
 #include "core/canonical.hpp"
 #include "core/heuristic.hpp"
 #include "core/moves.hpp"
+#include "core/parallel_astar.hpp"
 #include "sim/statevector.hpp"
 #include "state/state_factory.hpp"
 #include "util/rng.hpp"
@@ -77,12 +82,25 @@ void BM_HeuristicComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_HeuristicComponent)->Arg(6)->Arg(10)->Arg(14);
 
+/// Attach the queue-pressure stats of the last run so regressions in
+/// open-list discipline show up next to the timing.
+void attach_search_counters(benchmark::State& state,
+                            const SynthesisResult& res) {
+  state.counters["peak_open"] =
+      static_cast<double>(res.stats.peak_open_size);
+  state.counters["stale_pops"] = static_cast<double>(res.stats.stale_pops);
+  state.counters["classes"] = static_cast<double>(res.stats.classes_stored);
+}
+
 void BM_AStarDicke42(benchmark::State& state) {
   const QuantumState target = make_dicke(4, 2);
   const AStarSynthesizer synth;
+  SynthesisResult res;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(synth.synthesize(target));
+    res = synth.synthesize(target);
+    benchmark::DoNotOptimize(res);
   }
+  attach_search_counters(state, res);
 }
 BENCHMARK(BM_AStarDicke42)->Unit(benchmark::kMillisecond);
 
@@ -90,11 +108,32 @@ void BM_AStarRandom45(benchmark::State& state) {
   Rng rng(9);
   const QuantumState target = make_random_uniform(4, 5, rng);
   const AStarSynthesizer synth;
+  SynthesisResult res;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(synth.synthesize(target));
+    res = synth.synthesize(target);
+    benchmark::DoNotOptimize(res);
   }
+  attach_search_counters(state, res);
 }
 BENCHMARK(BM_AStarRandom45)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelAStarDicke42(benchmark::State& state) {
+  const QuantumState target = make_dicke(4, 2);
+  SearchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  const ParallelAStarSynthesizer synth(options);
+  SynthesisResult res;
+  for (auto _ : state) {
+    res = synth.synthesize(target);
+    benchmark::DoNotOptimize(res);
+  }
+  attach_search_counters(state, res);
+}
+BENCHMARK(BM_ParallelAStarDicke42)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StatevectorCnot(benchmark::State& state) {
   Statevector sv(static_cast<int>(state.range(0)));
@@ -118,6 +157,43 @@ void BM_CompressFree(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressFree);
 
+/// One canonical-schema json_row per exact-kernel instance (timed outside
+/// the google-benchmark loop), so the CI bench artifact covers this
+/// binary's cells too.
+void emit_kernel_json() {
+  struct Cell {
+    const char* instance;
+    QuantumState state;
+  };
+  Rng rng(9);
+  const Cell cells[] = {{"Dicke(4,2)", make_dicke(4, 2)},
+                        {"rand(4,5)", make_random_uniform(4, 5, rng)}};
+  for (const Cell& cell : cells) {
+    for (const int threads : {1, 2, 8}) {
+      SearchOptions options;
+      options.num_threads = threads;
+      const SynthesisResult res =
+          AStarSynthesizer(options).synthesize(cell.state);
+      qsp::bench::json_row("micro_core",
+                           {{"instance", cell.instance},
+                            {"method", "astar"},
+                            {"cnot_cost", res.cnot_cost},
+                            {"optimal", res.optimal},
+                            {"seconds", res.stats.seconds},
+                            {"threads", threads},
+                            {"peak_open_size", res.stats.peak_open_size},
+                            {"stale_pops", res.stats.stale_pops}});
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_kernel_json();
+  return 0;
+}

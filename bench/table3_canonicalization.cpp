@@ -23,6 +23,13 @@ int main() {
     table.add_row({TextTable::fmt(row.m), TextTable::fmt(row.total_states),
                    TextTable::fmt(row.u2_classes),
                    TextTable::fmt(row.pu2_classes)});
+    bench::json_row("table3_canonicalization",
+                    {{"instance", "n=4 m=" + std::to_string(row.m)},
+                     {"m", row.m},
+                     {"total_states", row.total_states},
+                     {"u2_classes", row.u2_classes},
+                     {"pu2_classes", row.pu2_classes},
+                     {"threads", 1}});
   }
   std::cout << table.render();
   std::cout << "\nPaper Table III:\n"

@@ -16,6 +16,7 @@
 #include "state/state_factory.hpp"
 #include "util/combinatorics.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -87,8 +88,31 @@ int main() {
         bench::check_verified(cell, "dicke baseline");
       }
     }
+    const Timer ours_timer;
     const auto [ours, optimal] =
         ours_dicke(target, n <= 4 ? budget_small : budget_large);
+    const double ours_seconds = ours_timer.seconds();
+
+    const std::string instance =
+        "Dicke(" + std::to_string(n) + "," + std::to_string(k) + ")";
+    auto emit = [&](const std::string& method, std::int64_t cnots,
+                    bool certified, double seconds) {
+      bench::json_row("table4_dicke",
+                      {{"instance", instance},
+                       {"n", n},
+                       {"k", k},
+                       {"method", method},
+                       {"cnot_cost", cnots},
+                       {"optimal", certified},
+                       {"seconds", seconds},
+                       {"threads", 1}});
+    };
+    emit("manual", manual, false, 0.0);
+    emit("be_circuit", be_cost, false, 0.0);
+    if (mflow.ok) emit("m-flow", mflow.cnots, false, mflow.seconds);
+    if (nflow.ok) emit("n-flow", nflow.cnots, false, nflow.seconds);
+    if (hybrid.ok) emit("hybrid", hybrid.cnots, false, hybrid.seconds);
+    if (ours >= 0) emit("ours", ours, optimal, ours_seconds);
 
     table.add_row({TextTable::fmt(n), TextTable::fmt(k),
                    TextTable::fmt(manual), TextTable::fmt(be_cost),

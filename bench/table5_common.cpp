@@ -25,10 +25,12 @@ SweepRow run_cell(int n, int m, int samples, double time_limit,
   for (int s = 0; s < samples; ++s) {
     Rng rng(seed_base + static_cast<std::uint64_t>(s));
     const QuantumState target = make_random_uniform(n, m, rng);
+    WorkflowOptions workflow;
+    workflow.num_threads = bench_threads();
     for (int i = 0; i < 4; ++i) {
       if (!active[i]) continue;
       const MethodRun run =
-          run_method(kMethodOrder[i], target, time_limit);
+          run_method(kMethodOrder[i], target, time_limit, workflow);
       if (!run.ok) {
         row.per_method[i].tle = true;
         active[i] = false;
@@ -52,6 +54,27 @@ SweepRow run_cell(int n, int m, int samples, double time_limit,
     }
   }
   return row;
+}
+
+void emit_sweep_json(const std::string& bench, const std::string& family,
+                     const SweepRow& row) {
+  const int threads = bench_threads();
+  for (int i = 0; i < 4; ++i) {
+    const CellResult& cell = row.per_method[i];
+    json_row(bench,
+             {{"instance", family + " n=" + std::to_string(row.n) +
+                               " m=" + std::to_string(row.m)},
+              {"family", family},
+              {"n", row.n},
+              {"m", row.m},
+              {"method", method_name(kMethodOrder[i])},
+              {"tle", cell.tle},
+              {"samples", cell.samples},
+              {"cnot_cost", cell.tle ? -1.0 : cell.mean_cnots},
+              {"optimal", false},
+              {"seconds", cell.mean_seconds},
+              {"threads", threads}});
+  }
 }
 
 }  // namespace qsp::bench

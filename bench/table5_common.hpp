@@ -34,4 +34,11 @@ SweepRow run_cell(int n, int m, int samples, double time_limit,
                   std::uint64_t seed_base, bool verify,
                   const std::vector<Method>& skip = {});
 
+/// One json_row per method cell of a sweep row, in the canonical
+/// instance / cnot_cost / optimal / seconds / threads schema (workflow
+/// cells carry no per-instance certificate, so optimal is false; threads
+/// records bench_threads(), the count run_cell hands the workflow).
+void emit_sweep_json(const std::string& bench, const std::string& family,
+                     const SweepRow& row);
+
 }  // namespace qsp::bench

@@ -36,6 +36,7 @@ int main() {
     const bool verify = n <= (full ? 14 : 12);
     const SweepRow row =
         run_cell(n, m, samples, time_limit, 0xD0 + n, verify, skip);
+    emit_sweep_json("table5_dense", "dense", row);
 
     auto cell_str = [&](int i) {
       return row.per_method[i].tle ? std::string("TLE")

@@ -34,6 +34,7 @@ int main() {
     const bool verify = n <= (full ? 14 : 12);
     const SweepRow row =
         run_cell(n, m, samples, time_limit, 0x50 + n, verify, skip);
+    emit_sweep_json("table5_sparse", "sparse", row);
 
     auto cell_str = [&](int i) {
       return row.per_method[i].tle ? std::string("TLE")

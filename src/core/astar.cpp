@@ -1,47 +1,12 @@
 #include "core/astar.hpp"
 
-#include <queue>
 #include <stdexcept>
-#include <tuple>
-#include <unordered_map>
-#include <vector>
 
-#include "util/assert.hpp"
+#include "core/parallel_astar.hpp"
+#include "core/search_core.hpp"
 #include "util/timer.hpp"
 
 namespace qsp {
-namespace {
-
-struct NodeRecord {
-  SlotState state;       // raw state achieving g (one member of the class)
-  std::int64_t g = 0;
-  std::int64_t h = 0;
-  std::int32_t parent = -1;
-  Move via;              // arc from parent's raw state to this raw state
-};
-
-/// Build the preparation circuit from the goal node: the forward arc chain
-/// maps target -> ... -> separable state; appending the free disentangling
-/// gates reaches ground, and the adjoint of the whole prepares the target.
-Circuit build_circuit(const std::vector<NodeRecord>& nodes,
-                      std::int32_t goal_id, int num_qubits) {
-  std::vector<const Move*> chain;
-  for (std::int32_t id = goal_id; nodes[static_cast<std::size_t>(id)].parent >= 0;
-       id = nodes[static_cast<std::size_t>(id)].parent) {
-    chain.push_back(&nodes[static_cast<std::size_t>(id)].via);
-  }
-  Circuit forward(num_qubits);
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    forward.append((*it)->to_gate());
-  }
-  for (const Gate& g :
-       free_disentangle_gates(nodes[static_cast<std::size_t>(goal_id)].state)) {
-    forward.append(g);
-  }
-  return forward.adjoint();
-}
-
-}  // namespace
 
 AStarSynthesizer::AStarSynthesizer(SearchOptions options)
     : options_(options) {}
@@ -57,97 +22,71 @@ SynthesisResult AStarSynthesizer::synthesize(const QuantumState& target) const {
 }
 
 SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
+  if (options_.num_threads != 1) {
+    return ParallelAStarSynthesizer(options_).synthesize(target);
+  }
+
   const Timer timer;
-  const Deadline deadline(options_.time_budget_seconds);
+  const SearchBudget budget(options_.time_budget_seconds,
+                            options_.node_budget);
   SynthesisResult result;
 
-  MoveGenOptions move_options;
-  move_options.max_controls = options_.max_controls;
-  move_options.full_candidate_cap = options_.full_candidate_cap;
-  move_options.coupling = options_.coupling.get();
-  // Qubit relabeling is only free on a symmetric (complete) coupling.
-  CanonicalLevel level = options_.canonical;
-  if (options_.coupling != nullptr && !options_.coupling->is_complete() &&
-      (level == CanonicalLevel::kPU2Greedy ||
-       level == CanonicalLevel::kPU2Exact)) {
-    level = CanonicalLevel::kU2;
-  }
-  move_options.include_zero_cost = level == CanonicalLevel::kNone;
+  const CanonicalLevel level =
+      effective_canonical_level(options_.canonical, options_.coupling.get());
+  const MoveGenOptions move_options = search_move_gen_options(
+      options_.max_controls, options_.full_candidate_cap,
+      options_.coupling.get(), level);
   // The arc set is exhaustive only while every group stays within the
   // candidate cap; above it the structured fallback may omit arcs, so the
   // result keeps `found` but loses the optimality certificate.
   const bool arcs_exhaustive = target.total() <= options_.full_candidate_cap;
 
-  std::vector<NodeRecord> nodes;
-  std::unordered_map<CanonicalKey, std::int32_t, CanonicalKeyHash> index;
-
-  // Priority queue entries: (f, h, node id, g at push) with lazy deletion.
-  using Entry = std::tuple<std::int64_t, std::int64_t, std::int32_t,
-                           std::int64_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-
+  ClassedArena arena;
+  OpenQueue open;
   auto h_of = [&](const SlotState& s) {
     return heuristic_lower_bound(s, options_.heuristic);
   };
+  auto g_of = [&](std::int64_t id) { return arena.node(id).g; };
 
-  NodeRecord root{target, 0, h_of(target), -1, Move{}};
-  nodes.push_back(root);
-  index.emplace(canonical_key(target, level), 0);
-  queue.emplace(root.h, root.h, 0, 0);
+  const std::int64_t root_h = h_of(target);
+  arena.add_root(canonical_key(target, level), target, root_h);
+  open.push(root_h, root_h, 0, 0);
 
-  std::int32_t goal_id = -1;
-  while (!queue.empty()) {
-    if (deadline.expired() ||
-        (options_.node_budget != 0 &&
-         result.stats.nodes_generated >= options_.node_budget)) {
-      break;  // budget exhausted; result.found stays false
-    }
-    const auto [f, h, id, g_at_push] = queue.top();
-    queue.pop();
-    NodeRecord& node = nodes[static_cast<std::size_t>(id)];
-    if (node.g != g_at_push) continue;  // stale entry
+  std::int64_t goal_id = -1;
+  while (!budget.exhausted(result.stats.nodes_generated)) {
+    const auto top = open.pop_best(g_of, result.stats.stale_pops);
+    if (!top.has_value()) break;
+    SearchNode& node = arena.node(top->id);
     if (free_reducible(node.state, level)) {
-      goal_id = id;
+      goal_id = top->id;
       result.stats.completed = true;
       break;
     }
     ++result.stats.nodes_expanded;
 
-    const SlotState state = node.state;  // copy: nodes may reallocate
+    const SlotState state = node.state;  // copy: the arena may reallocate
     const std::int64_t g = node.g;
     for (const Move& mv : enumerate_moves(state, move_options)) {
-      if (deadline.expired()) break;  // child work can dominate a pop
+      if (budget.deadline_expired()) break;  // child work can dominate a pop
       ++result.stats.nodes_generated;
       SlotState child = apply_move(state, mv);
       const std::int64_t g2 = g + mv.cost;
       CanonicalKey key = canonical_key(child, level);
-      auto [it, inserted] = index.try_emplace(key, 0);
-      if (!inserted) {
-        NodeRecord& existing = nodes[static_cast<std::size_t>(it->second)];
-        if (existing.g <= g2) continue;
-        // Better path to a known class: rebind the record (implicit
-        // reopening keeps optimality even if h is inconsistent).
-        existing.state = std::move(child);
-        existing.g = g2;
-        existing.parent = id;
-        existing.via = mv;
-        queue.emplace(g2 + existing.h, existing.h, it->second, g2);
-      } else {
-        const std::int64_t hc = h_of(child);
-        it->second = static_cast<std::int32_t>(nodes.size());
-        nodes.push_back(NodeRecord{std::move(child), g2, hc, id, mv});
-        queue.emplace(g2 + hc, hc, it->second, g2);
-      }
+      relax_into_open(arena, open, std::move(key), std::move(child), g2,
+                      top->id, mv, h_of);
     }
   }
 
-  result.stats.classes_stored = nodes.size();
+  result.stats.classes_stored = arena.size();
+  result.stats.peak_open_size = open.peak_size();
   result.stats.seconds = timer.seconds();
   if (goal_id >= 0) {
     result.found = true;
     result.optimal = arcs_exhaustive;
-    result.cnot_cost = nodes[static_cast<std::size_t>(goal_id)].g;
-    result.circuit = build_circuit(nodes, goal_id, target.num_qubits());
+    result.cnot_cost = arena.node(goal_id).g;
+    result.circuit = build_goal_circuit(
+        [&](std::int64_t id) -> const SearchNode& { return arena.node(id); },
+        goal_id, target.num_qubits());
   }
   return result;
 }

@@ -36,14 +36,28 @@ struct SearchOptions {
   /// paper notes). Route the result with arch/routing.hpp to realize the
   /// reported cost on hardware.
   std::shared_ptr<const CouplingGraph> coupling;
+  /// Worker shards for the exact search: 1 runs the serial kernel, larger
+  /// values run the sharded HDA* kernel (core/parallel_astar.hpp) with
+  /// that many threads, 0 uses all hardware threads. The parallel kernel
+  /// keeps the optimality certificate (see docs/ARCHITECTURE.md).
+  int num_threads = 1;
 };
 
 struct SearchStats {
   std::uint64_t nodes_expanded = 0;
   std::uint64_t nodes_generated = 0;
   std::uint64_t classes_stored = 0;
+  /// Largest open-list population seen (summed over shards when the
+  /// sharded kernel runs) — the queue-pressure signal tracked by
+  /// micro_core and fig7_runtime.
+  std::uint64_t peak_open_size = 0;
+  /// Lazy-deletion discards: popped entries whose pushed g was already
+  /// beaten by a rebind (summed over shards in the parallel kernel).
+  std::uint64_t stale_pops = 0;
   double seconds = 0.0;
-  /// True if the search ran to completion (goal popped) within budget.
+  /// True if the search ran to completion (goal popped, and for the
+  /// sharded kernel: certified against every shard's frontier) within
+  /// budget.
   bool completed = false;
 };
 

@@ -2,41 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
+#include <tuple>
 
+#include "core/search_core.hpp"
 #include "util/timer.hpp"
 
 namespace qsp {
-namespace {
-
-struct BeamNode {
-  SlotState state;
-  std::int64_t g = 0;
-  std::int64_t h = 0;
-  std::int32_t parent = -1;
-  Move via;
-};
-
-Circuit build_circuit(const std::vector<BeamNode>& nodes, std::int32_t goal,
-                      int num_qubits) {
-  std::vector<const Move*> chain;
-  for (std::int32_t id = goal;
-       nodes[static_cast<std::size_t>(id)].parent >= 0;
-       id = nodes[static_cast<std::size_t>(id)].parent) {
-    chain.push_back(&nodes[static_cast<std::size_t>(id)].via);
-  }
-  Circuit forward(num_qubits);
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    forward.append((*it)->to_gate());
-  }
-  for (const Gate& g : free_disentangle_gates(
-           nodes[static_cast<std::size_t>(goal)].state)) {
-    forward.append(g);
-  }
-  return forward.adjoint();
-}
-
-}  // namespace
 
 BeamSynthesizer::BeamSynthesizer(BeamOptions options) : options_(options) {}
 
@@ -54,35 +25,35 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
   const Deadline deadline(options_.time_budget_seconds);
   SynthesisResult result;
 
-  MoveGenOptions move_options;
-  move_options.max_controls = options_.max_controls;
+  const CanonicalLevel level =
+      effective_canonical_level(options_.canonical, options_.coupling.get());
+  MoveGenOptions move_options = search_move_gen_options(
+      options_.max_controls, options_.full_candidate_cap,
+      options_.coupling.get(), level);
+  // Unlike A*, the beam never runs uncanonicalized, so zero-cost arcs are
+  // always absorbed into the equivalence classes.
   move_options.include_zero_cost = false;
-  move_options.full_candidate_cap = options_.full_candidate_cap;
-  move_options.coupling = options_.coupling.get();
-  CanonicalLevel level = options_.canonical;
-  if (options_.coupling != nullptr && !options_.coupling->is_complete() &&
-      (level == CanonicalLevel::kPU2Greedy ||
-       level == CanonicalLevel::kPU2Exact)) {
-    level = CanonicalLevel::kU2;
-  }
 
-  std::vector<BeamNode> nodes;
-  // Best g seen per class across all levels, to prevent revisits.
-  std::unordered_map<CanonicalKey, std::int64_t, CanonicalKeyHash> best_g;
+  std::vector<SearchNode> nodes;
+  // Best g seen per class across all levels, to prevent revisits. The
+  // beam keeps every improved node (no rebinding): truncated ancestors
+  // must stay intact for path reconstruction.
+  ClassIndex<std::int64_t> best_g;
 
   auto h_of = [&](const SlotState& s) {
     return heuristic_lower_bound(s, options_.heuristic);
   };
 
-  nodes.push_back(BeamNode{target, 0, h_of(target), -1, Move{}});
+  nodes.push_back(SearchNode{target, 0, h_of(target),
+                             SearchNode::kNoParent, Move{}});
   best_g.emplace(canonical_key(target, level), 0);
 
-  std::vector<std::int32_t> beam{0};
+  std::vector<std::int64_t> beam{0};
   // Best goal found anywhere, not just inside the beam: the admissible h
   // underestimates the remaining cost, so a finished state (h = 0, large
   // g) often ranks behind unfinished ones and would be truncated away if
   // goals were only recognized within the surviving beam.
-  std::int32_t goal_id = -1;
+  std::int64_t goal_id = -1;
   std::int64_t goal_g = 0;
 
   if (free_reducible(target, level)) goal_id = 0;
@@ -91,8 +62,8 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
        goal_id != 0 && depth < options_.max_levels && !beam.empty();
        ++depth) {
     if (deadline.expired()) break;
-    std::vector<std::int32_t> candidates;
-    for (const std::int32_t id : beam) {
+    std::vector<std::int64_t> candidates;
+    for (const std::int64_t id : beam) {
       if (deadline.expired()) break;  // wide levels must not overshoot
       const SlotState state = nodes[static_cast<std::size_t>(id)].state;
       const std::int64_t g = nodes[static_cast<std::size_t>(id)].g;
@@ -106,34 +77,34 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
         const std::int64_t g2 = g + mv.cost;
         if (goal_id >= 0 && g2 >= goal_g) continue;  // cannot improve
         CanonicalKey key = canonical_key(child, level);
-        auto [it, inserted] = best_g.try_emplace(key, g2);
+        auto [it, inserted] = best_g.try_emplace(std::move(key), g2);
         if (!inserted) {
           if (it->second <= g2) continue;
           it->second = g2;
         }
         const std::int64_t hc = h_of(child);
-        const auto node_id = static_cast<std::int32_t>(nodes.size());
+        const auto node_id = static_cast<std::int64_t>(nodes.size());
         if (free_reducible(child, level)) {
           if (goal_id < 0 || g2 < goal_g) {
-            nodes.push_back(BeamNode{std::move(child), g2, hc, id, mv});
+            nodes.push_back(SearchNode{std::move(child), g2, hc, id, mv});
             goal_id = node_id;
             goal_g = g2;
           }
           continue;  // goals need no further expansion
         }
-        nodes.push_back(BeamNode{std::move(child), g2, hc, id, mv});
+        nodes.push_back(SearchNode{std::move(child), g2, hc, id, mv});
         candidates.push_back(node_id);
       }
       ++result.stats.nodes_expanded;
     }
-    auto score = [&](std::int32_t id) {
+    auto score = [&](std::int64_t id) {
       const auto& node = nodes[static_cast<std::size_t>(id)];
       return static_cast<double>(node.g + node.h) +
              options_.cardinality_weight *
                  static_cast<double>(node.state.cardinality() - 1);
     };
     std::sort(candidates.begin(), candidates.end(),
-              [&](std::int32_t a, std::int32_t b) {
+              [&](std::int64_t a, std::int64_t b) {
                 const auto& na = nodes[static_cast<std::size_t>(a)];
                 const auto& nb = nodes[static_cast<std::size_t>(b)];
                 return std::tuple(score(a), na.h) <
@@ -144,7 +115,7 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
     }
     // Keep only states that can still beat the incumbent (h admissible).
     if (goal_id >= 0) {
-      std::erase_if(candidates, [&](std::int32_t id) {
+      std::erase_if(candidates, [&](std::int64_t id) {
         const auto& node = nodes[static_cast<std::size_t>(id)];
         return node.g + node.h >= goal_g;
       });
@@ -158,7 +129,11 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
     result.found = true;
     result.optimal = false;  // beam search gives no optimality certificate
     result.cnot_cost = nodes[static_cast<std::size_t>(goal_id)].g;
-    result.circuit = build_circuit(nodes, goal_id, target.num_qubits());
+    result.circuit = build_goal_circuit(
+        [&](std::int64_t id) -> const SearchNode& {
+          return nodes[static_cast<std::size_t>(id)];
+        },
+        goal_id, target.num_qubits());
   }
   return result;
 }

@@ -1,0 +1,320 @@
+#include "core/parallel_astar.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/search_core.hpp"
+#include "util/timer.hpp"
+
+namespace qsp {
+namespace {
+
+// Global node ids pack (shard, arena offset); parents cross shards.
+constexpr int kShardShift = 40;
+constexpr std::int64_t kLocalMask = (std::int64_t{1} << kShardShift) - 1;
+
+std::int64_t make_gid(int shard, std::int64_t local) {
+  return (static_cast<std::int64_t>(shard) << kShardShift) | local;
+}
+int gid_shard(std::int64_t gid) {
+  return static_cast<int>(gid >> kShardShift);
+}
+std::int64_t gid_local(std::int64_t gid) { return gid & kLocalMask; }
+
+/// A successor routed to the shard owning its canonical key. The owner
+/// computes h lazily (only for classes it has never seen).
+struct Mail {
+  CanonicalKey key;
+  SlotState child;
+  std::int64_t g2 = 0;
+  std::int64_t parent = SearchNode::kNoParent;
+  Move via;
+};
+
+struct alignas(64) Shard {
+  ClassedArena arena;
+  OpenQueue open;
+  std::mutex inbox_mutex;
+  std::vector<Mail> inbox;
+  /// f of the shard's best frontier entry, (re)published every time the
+  /// worker is about to go idle; kInfiniteCost when the queue is empty.
+  std::atomic<std::int64_t> published_min_f{0};
+  /// True only while the worker has verified it holds no useful work.
+  std::atomic<bool> idle{false};
+  // Owner-thread-only counters, harvested after the join.
+  std::uint64_t expanded = 0;
+  std::uint64_t stale_pops = 0;
+};
+
+struct SharedState {
+  std::atomic<std::uint64_t> nodes_generated{0};
+  /// Monotonic mailbox counters: sent is incremented before a message is
+  /// appended, received only after the message's effect (arena relax and
+  /// min-f republication) is visible. sent == received therefore proves
+  /// no successor is in flight or unprocessed.
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::int64_t> incumbent_g{kInfiniteCost};
+  std::mutex incumbent_mutex;
+  std::int64_t incumbent_gid = SearchNode::kNoParent;
+  std::atomic<bool> done{false};
+  std::atomic<bool> aborted{false};
+};
+
+class HdaStar {
+ public:
+  HdaStar(const SearchOptions& options, const SlotState& target)
+      : options_(options),
+        target_(target),
+        level_(effective_canonical_level(options.canonical,
+                                         options.coupling.get())),
+        move_options_(search_move_gen_options(
+            options.max_controls, options.full_candidate_cap,
+            options.coupling.get(), level_)),
+        budget_(options.time_budget_seconds, options.node_budget),
+        num_shards_(resolve_num_threads(options.num_threads)),
+        shards_(static_cast<std::size_t>(num_shards_)) {}
+
+  SynthesisResult run() {
+    const Timer timer;
+    SynthesisResult result;
+
+    CanonicalKey root_key = canonical_key(target_, level_);
+    const int root_shard = owner_of(root_key);
+    const std::int64_t root_h = h_of(target_);
+    shards_[static_cast<std::size_t>(root_shard)].arena.add_root(
+        std::move(root_key), target_, root_h);
+    shards_[static_cast<std::size_t>(root_shard)].open.push(root_h, root_h,
+                                                            0, 0);
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s) {
+      workers.emplace_back([this, s] { work(s); });
+    }
+    for (std::thread& w : workers) w.join();
+
+    for (const Shard& shard : shards_) {
+      result.stats.nodes_expanded += shard.expanded;
+      result.stats.stale_pops += shard.stale_pops;
+      result.stats.classes_stored += shard.arena.size();
+      result.stats.peak_open_size += shard.open.peak_size();
+    }
+    result.stats.nodes_generated = shared_.nodes_generated.load();
+    result.stats.seconds = timer.seconds();
+    result.stats.completed =
+        !shared_.aborted.load() &&
+        shared_.incumbent_gid != SearchNode::kNoParent;
+
+    if (shared_.incumbent_gid != SearchNode::kNoParent) {
+      const std::int64_t goal = shared_.incumbent_gid;
+      result.found = true;
+      // Certified optimal only on a clean termination with an exhaustive
+      // arc set; a budget abort downgrades the incumbent to an anytime
+      // result.
+      result.optimal = result.stats.completed &&
+                       target_.total() <= options_.full_candidate_cap;
+      result.cnot_cost = node_at(goal).g;
+      result.circuit = build_goal_circuit(
+          [this](std::int64_t gid) -> const SearchNode& {
+            return node_at(gid);
+          },
+          goal, target_.num_qubits());
+    }
+    return result;
+  }
+
+ private:
+  const SearchNode& node_at(std::int64_t gid) const {
+    return shards_[static_cast<std::size_t>(gid_shard(gid))].arena.node(
+        gid_local(gid));
+  }
+
+  std::int64_t h_of(const SlotState& s) const {
+    return heuristic_lower_bound(s, options_.heuristic);
+  }
+
+  int owner_of(const CanonicalKey& key) const {
+    return static_cast<int>(CanonicalKeyHash{}(key) %
+                            static_cast<std::size_t>(num_shards_));
+  }
+
+  void work(int s) {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    auto h = [this](const SlotState& state) { return h_of(state); };
+    auto g_of = [&shard](std::int64_t id) { return shard.arena.node(id).g; };
+    // Reused outgoing buffers, one per destination shard.
+    std::vector<std::vector<Mail>> outbox(
+        static_cast<std::size_t>(num_shards_));
+    std::vector<Mail> batch;
+
+    while (!shared_.done.load()) {
+      if (budget_.exhausted(shared_.nodes_generated.load())) {
+        // If another worker already certified termination, the budget
+        // expiring a moment later must not downgrade the certificate.
+        if (!shared_.done.exchange(true)) shared_.aborted.store(true);
+        break;
+      }
+
+      // 1. Drain the mailbox. idle goes false before any effect so the
+      // termination check can never observe a half-processed message.
+      batch.clear();
+      {
+        const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+        batch.swap(shard.inbox);
+      }
+      if (!batch.empty()) {
+        shard.idle.store(false);
+        for (Mail& mail : batch) {
+          relax_into_open(shard.arena, shard.open, std::move(mail.key),
+                          std::move(mail.child), mail.g2, mail.parent,
+                          mail.via, h);
+        }
+        shard.published_min_f.store(shard.open.min_f());
+        shared_.received.fetch_add(batch.size());
+        continue;
+      }
+
+      // 2. Expand the best local node that can still beat the incumbent.
+      const std::int64_t incumbent = shared_.incumbent_g.load();
+      if (shard.open.min_f() < incumbent) {
+        shard.idle.store(false);
+        const auto top = shard.open.pop_best(g_of, shard.stale_pops);
+        if (top.has_value() && top->f < incumbent) {
+          if (free_reducible(shard.arena.node(top->id).state, level_)) {
+            offer_incumbent(top->g_at_push, make_gid(s, top->id));
+          } else {
+            expand(s, shard, top->id, outbox);
+          }
+        }
+        shard.published_min_f.store(shard.open.min_f());
+        continue;
+      }
+
+      // 3. Nothing useful locally: publish the frontier bound, declare
+      // idle, and try to certify global termination.
+      shard.published_min_f.store(shard.open.min_f());
+      shard.idle.store(true);
+      if (try_terminate()) break;
+      std::this_thread::yield();
+    }
+  }
+
+  void expand(int s, Shard& shard, std::int64_t id,
+              std::vector<std::vector<Mail>>& outbox) {
+    ++shard.expanded;
+    const SlotState state = shard.arena.node(id).state;  // may reallocate
+    const std::int64_t g = shard.arena.node(id).g;
+    const std::int64_t parent_gid = make_gid(s, id);
+    auto h = [this](const SlotState& child) { return h_of(child); };
+
+    std::uint64_t generated = 0;
+    for (const Move& mv : enumerate_moves(state, move_options_)) {
+      if (budget_.deadline_expired()) break;  // child work can dominate
+      ++generated;
+      SlotState child = apply_move(state, mv);
+      const std::int64_t g2 = g + mv.cost;
+      CanonicalKey key = canonical_key(child, level_);
+      const int owner = owner_of(key);
+      if (owner == s) {
+        relax_into_open(shard.arena, shard.open, std::move(key),
+                        std::move(child), g2, parent_gid, mv, h);
+      } else {
+        outbox[static_cast<std::size_t>(owner)].push_back(
+            Mail{std::move(key), std::move(child), g2, parent_gid, mv});
+      }
+    }
+    shared_.nodes_generated.fetch_add(generated);
+
+    for (int dest = 0; dest < num_shards_; ++dest) {
+      std::vector<Mail>& out = outbox[static_cast<std::size_t>(dest)];
+      if (out.empty()) continue;
+      // sent must lead the append: a checker that observes sent ==
+      // received has proof these messages were already processed.
+      shared_.sent.fetch_add(out.size());
+      Shard& target = shards_[static_cast<std::size_t>(dest)];
+      {
+        const std::lock_guard<std::mutex> lock(target.inbox_mutex);
+        for (Mail& mail : out) target.inbox.push_back(std::move(mail));
+      }
+      out.clear();
+    }
+  }
+
+  void offer_incumbent(std::int64_t g, std::int64_t gid) {
+    const std::lock_guard<std::mutex> lock(shared_.incumbent_mutex);
+    if (g < shared_.incumbent_g.load()) {
+      shared_.incumbent_gid = gid;
+      shared_.incumbent_g.store(g);
+    }
+  }
+
+  /// Certify termination: the incumbent's g is a true optimum once every
+  /// shard is idle with frontier min f >= incumbent and no message is in
+  /// flight. The counters are read before and after the per-shard pass;
+  /// any concurrent send or delivery changes them and voids the attempt.
+  /// (With no incumbent the same condition — every frontier empty, no
+  /// mail — certifies exhaustion without a goal.)
+  bool try_terminate() {
+    const std::int64_t incumbent = shared_.incumbent_g.load();
+    const std::uint64_t sent_before = shared_.sent.load();
+    const std::uint64_t received_before = shared_.received.load();
+    if (sent_before != received_before) return false;
+    for (const Shard& shard : shards_) {
+      if (!shard.idle.load()) return false;
+      if (shard.published_min_f.load() < incumbent) return false;
+    }
+    if (shared_.sent.load() != sent_before ||
+        shared_.received.load() != received_before) {
+      return false;
+    }
+    for (const Shard& shard : shards_) {
+      if (!shard.idle.load()) return false;
+    }
+    shared_.done.store(true);
+    return true;
+  }
+
+  const SearchOptions& options_;
+  const SlotState& target_;
+  const CanonicalLevel level_;
+  const MoveGenOptions move_options_;
+  const SearchBudget budget_;
+  const int num_shards_;
+  std::vector<Shard> shards_;
+  SharedState shared_;
+};
+
+}  // namespace
+
+int resolve_num_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelAStarSynthesizer::ParallelAStarSynthesizer(SearchOptions options)
+    : options_(options) {}
+
+SynthesisResult ParallelAStarSynthesizer::synthesize(
+    const QuantumState& target) const {
+  const auto slot = SlotState::from_state(target);
+  if (!slot.has_value()) {
+    throw std::invalid_argument(
+        "ParallelAStarSynthesizer: target has no slot decomposition "
+        "(negative or irrational amplitudes); use the workflow solver "
+        "instead");
+  }
+  return synthesize(*slot);
+}
+
+SynthesisResult ParallelAStarSynthesizer::synthesize(
+    const SlotState& target) const {
+  HdaStar search(options_, target);
+  return search.run();
+}
+
+}  // namespace qsp

@@ -1,0 +1,52 @@
+#pragma once
+// Sharded parallel exact search (HDA*-style, Kishimoto et al.): the open
+// list is partitioned across SearchOptions::num_threads workers by hashing
+// each node's canonical key, so every equivalence class has exactly one
+// owning shard and the duplicate-detection table needs no global locking.
+// Successors are routed to their owner through mutex-striped mailboxes.
+//
+// The optimality certificate survives parallelization: the search only
+// terminates when an incumbent goal's g is <= the minimum f over every
+// shard's frontier AND no successor message is still in flight (tracked
+// with monotonic sent/received counters and a double-read of the idle
+// state). With the admissible heuristic, any undiscovered path to a
+// cheaper goal would have to pass through a frontier node of smaller f,
+// which cannot exist at that point — the same argument as serial A*
+// completion (termination proof sketch in docs/ARCHITECTURE.md).
+//
+// `AStarSynthesizer` dispatches here automatically when
+// SearchOptions::num_threads != 1; this header is the direct entry point
+// used by the determinism tests and the thread-scaling benches.
+
+#include "core/astar.hpp"
+
+namespace qsp {
+
+/// Resolve a SearchOptions::num_threads request: 0 means all hardware
+/// threads, anything else is clamped to at least 1.
+int resolve_num_threads(int requested);
+
+class ParallelAStarSynthesizer {
+ public:
+  explicit ParallelAStarSynthesizer(SearchOptions options = {});
+
+  /// Synthesize a preparation circuit for the slot-encoded target. Returns
+  /// the same cnot_cost and `optimal` certificate as the serial kernel on
+  /// every instance the serial kernel certifies; if the budget runs out
+  /// after an incumbent goal was found, the incumbent is returned as an
+  /// anytime result with `optimal == false` (the serial kernel reports
+  /// not-found in that situation, as it has no incumbent before the goal
+  /// pop).
+  SynthesisResult synthesize(const SlotState& target) const;
+
+  /// Convenience: decompose a sparse state into slots first. Throws
+  /// std::invalid_argument if the state has no slot decomposition.
+  SynthesisResult synthesize(const QuantumState& target) const;
+
+  const SearchOptions& options() const { return options_; }
+
+ private:
+  SearchOptions options_;
+};
+
+}  // namespace qsp

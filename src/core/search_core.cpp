@@ -1,0 +1,27 @@
+#include "core/search_core.hpp"
+
+namespace qsp {
+
+CanonicalLevel effective_canonical_level(CanonicalLevel requested,
+                                         const CouplingGraph* coupling) {
+  if (coupling != nullptr && !coupling->is_complete() &&
+      (requested == CanonicalLevel::kPU2Greedy ||
+       requested == CanonicalLevel::kPU2Exact)) {
+    return CanonicalLevel::kU2;
+  }
+  return requested;
+}
+
+MoveGenOptions search_move_gen_options(int max_controls,
+                                       std::uint64_t full_candidate_cap,
+                                       const CouplingGraph* coupling,
+                                       CanonicalLevel level) {
+  MoveGenOptions options;
+  options.max_controls = max_controls;
+  options.full_candidate_cap = full_candidate_cap;
+  options.coupling = coupling;
+  options.include_zero_cost = level == CanonicalLevel::kNone;
+  return options;
+}
+
+}  // namespace qsp

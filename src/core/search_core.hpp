@@ -1,0 +1,232 @@
+#pragma once
+// Shared substrate for the exact-search family (serial A*, the sharded
+// HDA* kernel, and the anytime beam): the node-record arena with the
+// canonical-key index and A*'s relax/rebind discipline, the lazy-deletion
+// open list, budget/deadline accounting, the coupling-aware
+// canonicalization demotion, and goal-circuit reconstruction. Extracted
+// from astar.cpp / beam.cpp, which used to duplicate this bookkeeping.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "arch/coupling.hpp"
+#include "circuit/circuit.hpp"
+#include "core/canonical.hpp"
+#include "core/moves.hpp"
+#include "core/slot_state.hpp"
+#include "util/timer.hpp"
+
+namespace qsp {
+
+/// Sentinel distance: "no entry" / "queue empty".
+inline constexpr std::int64_t kInfiniteCost =
+    std::numeric_limits<std::int64_t>::max();
+
+/// One explored node: a raw representative of its equivalence class, the
+/// best known arc distance g, the admissible remainder h, and the arc
+/// (parent, via) that achieved g. Node ids are searcher-defined: the
+/// serial kernels use arena offsets, the sharded kernel packs
+/// (shard, local offset) into one id; kNoParent marks the root.
+struct SearchNode {
+  static constexpr std::int64_t kNoParent = -1;
+
+  SlotState state;
+  std::int64_t g = 0;
+  std::int64_t h = 0;
+  std::int64_t parent = kNoParent;
+  Move via;
+};
+
+/// Canonical-key map shared by every searcher's class bookkeeping.
+template <class V>
+using ClassIndex = std::unordered_map<CanonicalKey, V, CanonicalKeyHash>;
+
+/// Qubit relabeling is only free on a symmetric (complete) coupling, so
+/// permutation canonicalization must be demoted to U(2) elsewhere.
+CanonicalLevel effective_canonical_level(CanonicalLevel requested,
+                                         const CouplingGraph* coupling);
+
+/// Move-generation options shared by the searchers: zero-cost arcs are
+/// only enumerated when canonicalization does not absorb them.
+MoveGenOptions search_move_gen_options(int max_controls,
+                                       std::uint64_t full_candidate_cap,
+                                       const CouplingGraph* coupling,
+                                       CanonicalLevel level);
+
+/// Node-generation and wall-clock budgets shared by all searchers.
+class SearchBudget {
+ public:
+  SearchBudget(double time_budget_seconds, std::uint64_t node_budget)
+      : deadline_(time_budget_seconds), node_budget_(node_budget) {}
+
+  bool deadline_expired() const { return deadline_.expired(); }
+
+  /// True once the search must stop: deadline passed or the generated-arc
+  /// budget (0 = unlimited) is spent.
+  bool exhausted(std::uint64_t nodes_generated) const {
+    return deadline_.expired() ||
+           (node_budget_ != 0 && nodes_generated >= node_budget_);
+  }
+
+ private:
+  Deadline deadline_;
+  std::uint64_t node_budget_;
+};
+
+/// Arena of SearchNodes plus the class index with A*'s relax discipline:
+/// a new class appends a record; a cheaper path to a known class rebinds
+/// the record in place (implicit reopening keeps optimality under an
+/// admissible but possibly inconsistent heuristic). Ids are local arena
+/// offsets; `parent` is stored verbatim so callers may use a wider
+/// encoding (the sharded kernel stores global ids there).
+class ClassedArena {
+ public:
+  struct Relaxed {
+    std::int64_t id = -1;
+    bool improved = false;  ///< true => (re)push onto the open list
+  };
+
+  /// Seed the arena with the search root (id 0).
+  void add_root(CanonicalKey key, SlotState state, std::int64_t h) {
+    index_.emplace(std::move(key), 0);
+    nodes_.push_back(SearchNode{std::move(state), 0, h,
+                                SearchNode::kNoParent, Move{}});
+  }
+
+  /// Relax the arc parent --via--> child with tentative distance g2.
+  /// `h_of` is only invoked when the class is new.
+  template <class HOf>
+  Relaxed relax(CanonicalKey&& key, SlotState&& child, std::int64_t g2,
+                std::int64_t parent, const Move& via, HOf&& h_of) {
+    auto [it, inserted] = index_.try_emplace(std::move(key), 0);
+    if (!inserted) {
+      SearchNode& existing = node(it->second);
+      if (existing.g <= g2) return {it->second, false};
+      existing.state = std::move(child);
+      existing.g = g2;
+      existing.parent = parent;
+      existing.via = via;
+      return {it->second, true};
+    }
+    const std::int64_t h = h_of(child);
+    const auto id = static_cast<std::int64_t>(nodes_.size());
+    it->second = id;
+    nodes_.push_back(SearchNode{std::move(child), g2, h, parent, via});
+    return {id, true};
+  }
+
+  SearchNode& node(std::int64_t id) {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const SearchNode& node(std::int64_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::uint64_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<SearchNode> nodes_;
+  ClassIndex<std::int64_t> index_;
+};
+
+/// Lazy-deletion open list over (f, h, id, g-at-push) entries. Rebinding
+/// a class simply pushes a fresh entry; pop_best discards entries whose
+/// pushed g no longer matches the record (stale), counting them for
+/// SearchStats::stale_pops.
+class OpenQueue {
+ public:
+  struct Entry {
+    std::int64_t f = 0;
+    std::int64_t h = 0;
+    std::int64_t id = 0;
+    std::int64_t g_at_push = 0;
+  };
+
+  void push(std::int64_t f, std::int64_t h, std::int64_t id,
+            std::int64_t g_at_push) {
+    queue_.emplace(f, h, id, g_at_push);
+    peak_ = std::max(peak_, static_cast<std::uint64_t>(queue_.size()));
+  }
+
+  /// Pop the best non-stale entry; `g_of(id)` must return the record's
+  /// current g so outdated entries can be discarded.
+  template <class GOf>
+  std::optional<Entry> pop_best(GOf&& g_of, std::uint64_t& stale_pops) {
+    while (!queue_.empty()) {
+      const auto [f, h, id, g_at_push] = queue_.top();
+      queue_.pop();
+      if (g_of(id) != g_at_push) {
+        ++stale_pops;
+        continue;
+      }
+      return Entry{f, h, id, g_at_push};
+    }
+    return std::nullopt;
+  }
+
+  /// f of the best entry (stale entries included, which is still a valid
+  /// lower bound: a rebind's fresh entry has f no larger than its stale
+  /// one), or kInfiniteCost when empty.
+  std::int64_t min_f() const {
+    return queue_.empty() ? kInfiniteCost : std::get<0>(queue_.top());
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t peak_size() const { return peak_; }
+
+ private:
+  using Tuple =
+      std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
+  std::priority_queue<Tuple, std::vector<Tuple>, std::greater<>> queue_;
+  std::uint64_t peak_ = 0;
+};
+
+/// The shared relax-then-push discipline: relax the arc into the arena
+/// and, when the class is new or rebound cheaper, (re)enter it into the
+/// open list under f = g + h. Every A*-family consumer (serial kernel,
+/// HDA* mail drain, HDA* local expansion) must go through this so the
+/// g-at-push staleness contract stays in one place.
+template <class HOf>
+void relax_into_open(ClassedArena& arena, OpenQueue& open,
+                     CanonicalKey&& key, SlotState&& child, std::int64_t g2,
+                     std::int64_t parent, const Move& via, HOf&& h_of) {
+  const ClassedArena::Relaxed relaxed =
+      arena.relax(std::move(key), std::move(child), g2, parent, via, h_of);
+  if (relaxed.improved) {
+    const std::int64_t h = arena.node(relaxed.id).h;
+    open.push(g2 + h, h, relaxed.id, g2);
+  }
+}
+
+/// Reconstruct the preparation circuit from a goal node: the forward arc
+/// chain maps target -> ... -> separable state; appending the free
+/// disentangling gates reaches ground, and the adjoint of the whole
+/// prepares the target. `node_at(id)` maps a node id to its record,
+/// letting searchers keep their own arena layout (one vector, or one
+/// arena per shard).
+template <class NodeAt>
+Circuit build_goal_circuit(NodeAt&& node_at, std::int64_t goal_id,
+                           int num_qubits) {
+  std::vector<const Move*> chain;
+  for (std::int64_t id = goal_id;;) {
+    const SearchNode& node = node_at(id);
+    if (node.parent == SearchNode::kNoParent) break;
+    chain.push_back(&node.via);
+    id = node.parent;
+  }
+  Circuit forward(num_qubits);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    forward.append((*it)->to_gate());
+  }
+  for (const Gate& g : free_disentangle_gates(node_at(goal_id).state)) {
+    forward.append(g);
+  }
+  return forward.adjoint();
+}
+
+}  // namespace qsp

@@ -66,7 +66,11 @@ Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
     }
     const SlotState narrow(static_cast<int>(active.size()),
                            std::move(narrow_entries));
-    const ExactSynthesizer exact(options_.exact);
+    ExactSynthesisOptions exact_options = options_.exact;
+    if (options_.num_threads != 1) {
+      exact_options.astar.num_threads = options_.num_threads;
+    }
+    const ExactSynthesizer exact(exact_options);
     const SynthesisResult res = exact.synthesize(narrow);
     if (!res.found) {
       MFlowOptions fallback = options_.mflow;

@@ -31,6 +31,11 @@ struct WorkflowOptions {
   int dual_path_max_cardinality = 64;
   /// Abort the whole workflow after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Worker threads for the exact tail's A* kernel. 1 keeps the serial
+  /// kernel; any other value (0 = all hardware threads) overrides
+  /// exact.astar.num_threads and runs the sharded HDA* kernel
+  /// (core/parallel_astar.hpp) on every exact-tail search.
+  int num_threads = 1;
 
   WorkflowOptions() {
     mflow.strategy = MFlowOptions::PairStrategy::kCheapest;

@@ -65,6 +65,11 @@ TEST(AStar, SearchStatsPopulated) {
   EXPECT_GT(res.stats.nodes_expanded, 0u);
   EXPECT_GT(res.stats.nodes_generated, res.stats.nodes_expanded);
   EXPECT_GT(res.stats.classes_stored, 1u);
+  EXPECT_GT(res.stats.peak_open_size, 0u);
+  // The queue never exceeds the generated-arc count, and every stale pop
+  // corresponds to an earlier push.
+  EXPECT_LE(res.stats.peak_open_size, res.stats.nodes_generated + 1);
+  EXPECT_LE(res.stats.stale_pops, res.stats.nodes_generated);
 }
 
 TEST(AStar, BudgetExhaustionReportsNotFound) {

@@ -94,6 +94,38 @@ TEST(Beam, DickeFiveTwoBeatsManualDesign) {
   EXPECT_LE(res.cnot_cost, 20);
 }
 
+TEST(Beam, ResultsUnchangedAfterSearchCorePort) {
+  // Frozen costs and class counts captured from the pre-search-core beam
+  // implementation on fixed seeds: the port onto the shared substrate
+  // (search_core.hpp) must be behavior-identical, not just "still good".
+  struct Snapshot {
+    QuantumState target;
+    BeamOptions options;
+    std::int64_t cost;
+    std::uint64_t classes;
+  };
+  BeamOptions wide;
+  wide.beam_width = 256;
+  Rng rng77(77);
+  Rng rng78(78);
+  std::vector<Snapshot> snapshots;
+  snapshots.push_back({make_w(3), {}, 4, 7});
+  snapshots.push_back({make_dicke(4, 2), {}, 6, 300});
+  snapshots.push_back({make_dicke(5, 1), wide, 10, 495});
+  snapshots.push_back({make_uniform(3, {0, 3, 5, 6}), {}, 2, 4});
+  snapshots.push_back({make_random_uniform(4, 6, rng77), {}, 8, 318});
+  snapshots.push_back({make_random_uniform(5, 8, rng78), {}, 14, 24723});
+  for (const Snapshot& snap : snapshots) {
+    const BeamSynthesizer beam(snap.options);
+    const SynthesisResult res = beam.synthesize(snap.target);
+    ASSERT_TRUE(res.found) << snap.target.to_string();
+    EXPECT_EQ(res.cnot_cost, snap.cost) << snap.target.to_string();
+    EXPECT_EQ(res.stats.classes_stored, snap.classes)
+        << snap.target.to_string();
+    verify_preparation_or_throw(res.circuit, snap.target);
+  }
+}
+
 TEST(Beam, IncumbentPruningKeepsBestGoal) {
   // The first goal reached need not be the returned one: later levels may
   // improve it. Just assert the returned cost is consistent and verified

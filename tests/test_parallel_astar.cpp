@@ -1,0 +1,139 @@
+#include "core/parallel_astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/coupling.hpp"
+#include "circuit/lowering.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+/// The fixture corpus of test_astar.cpp: every state the serial kernel
+/// certifies, so the sharded kernel must reproduce the exact cnot_cost
+/// and the `optimal` flag on each of them.
+std::vector<QuantumState> certificate_corpus() {
+  std::vector<QuantumState> corpus;
+  corpus.push_back(QuantumState(3));                                // ground
+  corpus.push_back(make_uniform(3, {0, 1, 2, 3, 4, 5, 6, 7}));     // product
+  corpus.push_back(make_uniform(2, {0b10, 0b11}));                 // product
+  corpus.push_back(make_ghz(2));                                   // Bell
+  corpus.push_back(make_ghz(3));
+  corpus.push_back(make_ghz(4));
+  corpus.push_back(make_ghz(5));
+  corpus.push_back(make_uniform(3, {0b000, 0b011, 0b101, 0b110}));  // Fig. 3
+  corpus.push_back(make_w(3));
+  corpus.push_back(make_dicke(4, 2));
+  Rng rng(2024);  // the seed of AStar.RandomUniformStatesAlwaysVerify
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(2));
+    const int m = 2 + static_cast<int>(rng.next_below(7));
+    corpus.push_back(make_random_uniform(n, m, rng));
+  }
+  return corpus;
+}
+
+TEST(ParallelAStar, MatchesSerialCertificateAcrossThreadCounts) {
+  const AStarSynthesizer serial;
+  for (const QuantumState& target : certificate_corpus()) {
+    const SynthesisResult ref = serial.synthesize(target);
+    ASSERT_TRUE(ref.found) << target.to_string();
+    for (const int threads : {1, 2, 8}) {
+      SearchOptions options;
+      options.num_threads = threads;
+      const ParallelAStarSynthesizer parallel(options);
+      const SynthesisResult res = parallel.synthesize(target);
+      ASSERT_TRUE(res.found)
+          << target.to_string() << " threads=" << threads;
+      EXPECT_EQ(res.cnot_cost, ref.cnot_cost)
+          << target.to_string() << " threads=" << threads;
+      EXPECT_EQ(res.optimal, ref.optimal)
+          << target.to_string() << " threads=" << threads;
+      EXPECT_TRUE(res.stats.completed);
+      verify_preparation_or_throw(res.circuit, target);
+      EXPECT_EQ(count_cnots_after_lowering(res.circuit), res.cnot_cost);
+    }
+  }
+}
+
+TEST(ParallelAStar, AStarSynthesizerDispatchesOnNumThreads) {
+  // The public facade routes to the sharded kernel when num_threads != 1
+  // and must report the same certificate either way.
+  const QuantumState target = make_dicke(4, 2);
+  SearchOptions options;
+  options.num_threads = 4;
+  const SynthesisResult res = AStarSynthesizer(options).synthesize(target);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.optimal);
+  EXPECT_EQ(res.cnot_cost, 6);
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+TEST(ParallelAStar, ZeroThreadsMeansAllHardwareThreads) {
+  EXPECT_GE(resolve_num_threads(0), 1);
+  SearchOptions options;
+  options.num_threads = 0;
+  const SynthesisResult res =
+      ParallelAStarSynthesizer(options).synthesize(make_ghz(3));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.cnot_cost, 2);
+  EXPECT_TRUE(res.optimal);
+}
+
+TEST(ParallelAStar, StatsAggregateAcrossShards) {
+  SearchOptions options;
+  options.num_threads = 8;
+  const SynthesisResult res =
+      ParallelAStarSynthesizer(options).synthesize(make_dicke(4, 2));
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.stats.completed);
+  EXPECT_GT(res.stats.nodes_expanded, 0u);
+  EXPECT_GT(res.stats.nodes_generated, res.stats.nodes_expanded);
+  EXPECT_GT(res.stats.classes_stored, 1u);
+  EXPECT_GT(res.stats.peak_open_size, 0u);
+}
+
+TEST(ParallelAStar, BudgetExhaustionReportsNotFound) {
+  SearchOptions tight;
+  tight.num_threads = 4;
+  tight.node_budget = 10;
+  const SynthesisResult res =
+      ParallelAStarSynthesizer(tight).synthesize(make_dicke(4, 2));
+  EXPECT_FALSE(res.found);
+  EXPECT_FALSE(res.stats.completed);
+}
+
+TEST(ParallelAStar, CouplingConstrainedCostsMatchSerial) {
+  // The canonicalization demotion on incomplete couplings must behave
+  // identically in both kernels (routed costs included).
+  SearchOptions serial_options;
+  serial_options.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::line(3));
+  SearchOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+  for (const QuantumState& target :
+       {make_ghz(3), make_uniform(3, {0b000, 0b011, 0b101, 0b110})}) {
+    const SynthesisResult ref =
+        AStarSynthesizer(serial_options).synthesize(target);
+    const SynthesisResult res =
+        ParallelAStarSynthesizer(parallel_options).synthesize(target);
+    ASSERT_TRUE(ref.found && res.found);
+    EXPECT_EQ(res.cnot_cost, ref.cnot_cost);
+    EXPECT_EQ(res.optimal, ref.optimal);
+  }
+}
+
+TEST(ParallelAStar, ThrowsOnNonSlotState) {
+  const QuantumState signed_state(2, {Term{0, 1.0}, Term{3, -1.0}});
+  SearchOptions options;
+  options.num_threads = 2;
+  const ParallelAStarSynthesizer synth(options);
+  EXPECT_THROW(synth.synthesize(signed_state), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsp

@@ -21,6 +21,20 @@ TEST(Workflow, TinyStatesUseExactDirectly) {
   EXPECT_EQ(count_cnots_after_lowering(res.circuit), 6);
 }
 
+TEST(Workflow, NumThreadsReachesExactTail) {
+  // WorkflowOptions::num_threads must flow into the exact tail's A*
+  // kernel without changing the certified result.
+  WorkflowOptions options;
+  options.num_threads = 4;
+  const Solver solver(options);
+  const QuantumState target = make_dicke(4, 2);
+  const WorkflowResult res = solver.prepare(target);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.used_exact_tail);
+  verify_preparation_or_throw(res.circuit, target);
+  EXPECT_EQ(count_cnots_after_lowering(res.circuit), 6);
+}
+
 TEST(Workflow, SparseDispatch) {
   Rng rng(401);
   const Solver solver;
