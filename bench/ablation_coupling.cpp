@@ -3,9 +3,18 @@
 // canonicalization; this bench quantifies the routed-CNOT overhead of
 // preparing the same states on restricted topologies, with the search
 // optimizing against each topology's routed cost model.
+//
+// Section (a) reproduces the 4-qubit sweep over full/ring/line/star.
+// Section (b) scales beyond 4 qubits (line, 2x3 grid, a heavy-hex patch)
+// and measures heuristic tightness: every instance runs once with the
+// coupling-aware admissible bound (Steiner-priced components) and once
+// with the coupling-blind unit bound. Both are admissible, so the optimal
+// routed costs must agree cell by cell — the expanded-node delta is pure
+// heuristic pruning, diffable across commits via the JSON rows.
 
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/routing.hpp"
@@ -16,18 +25,21 @@
 #include "state/state_factory.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace qsp;
-  bench::print_banner(
-      "Ablation D: coupling topologies",
-      "Optimal routed CNOT cost of 4-qubit preparations per topology\n"
-      "(search optimizes against the routed cost model; every routed\n"
-      "circuit is checked for coupling conformance and re-verified).");
+namespace {
 
-  struct Topology {
-    std::string name;
-    std::shared_ptr<CouplingGraph> graph;
-  };
+using namespace qsp;
+
+struct Topology {
+  std::string name;
+  std::shared_ptr<CouplingGraph> graph;
+};
+
+struct Case {
+  std::string name;
+  QuantumState state;
+};
+
+int run_four_qubit_sweep() {
   std::vector<Topology> topologies;
   topologies.push_back({"full", std::make_shared<CouplingGraph>(
                                     CouplingGraph::full(4))});
@@ -38,16 +50,12 @@ int main() {
   topologies.push_back({"star", std::make_shared<CouplingGraph>(
                                     CouplingGraph::star(4))});
 
-  struct Case {
-    std::string name;
-    QuantumState state;
-  };
   std::vector<Case> cases;
   cases.push_back({"GHZ_4", make_ghz(4)});
   cases.push_back({"W_4", make_w(4)});
   cases.push_back({"Dicke(4,2)", make_dicke(4, 2)});
   Rng rng(1234);
-  const int extra = bench::full_mode() ? 6 : 3;
+  const int extra = bench::full_mode() ? 6 : (bench::smoke_mode() ? 1 : 3);
   for (int i = 0; i < extra; ++i) {
     cases.push_back({"rand4m5#" + std::to_string(i),
                      make_random_uniform(4, 5, rng)});
@@ -60,6 +68,7 @@ int main() {
     for (std::size_t t = 0; t < topologies.size(); ++t) {
       SearchOptions options;
       options.coupling = topologies[t].graph;
+      options.num_threads = bench::bench_threads();
       options.time_budget_seconds = bench::full_mode() ? 300.0 : 60.0;
       options.node_budget = 20'000'000;
       const AStarSynthesizer synth(options);
@@ -81,10 +90,12 @@ int main() {
       bench::json_row("ablation_coupling",
                       {{"instance", c.name},
                        {"topology", topologies[t].name},
+                       {"heuristic", "routed"},
                        {"cnot_cost", res.cnot_cost},
                        {"optimal", res.optimal},
+                       {"nodes_expanded", res.stats.nodes_expanded},
                        {"seconds", res.stats.seconds},
-                       {"threads", 1}});
+                       {"threads", bench::bench_threads()}});
     }
     table.add_row(std::move(row));
   }
@@ -98,6 +109,144 @@ int main() {
   std::cout << "\nSymmetric states (GHZ, W) route for free: their optimal\n"
                "circuits are neighbour chains on every topology. Random\n"
                "sparse states pay routed-CNOT overhead, most on the line\n"
-               "(largest diameter among these graphs).\n";
+               "(largest diameter among these graphs).\n\n";
   return 0;
+}
+
+int run_scaling_sweep() {
+  std::vector<Topology> topologies;
+  topologies.push_back({"line6", std::make_shared<CouplingGraph>(
+                                     CouplingGraph::line(6))});
+  if (!bench::smoke_mode()) {
+    topologies.push_back({"grid23", std::make_shared<CouplingGraph>(
+                                        CouplingGraph::grid(2, 3))});
+  }
+  // A 7-qubit connected patch of the d=3 heavy-hex lattice: row-0 prefix
+  // 0-1-2, bridge 15, row-1 prefix 5-6-7 (re-indexed 0..6).
+  topologies.push_back(
+      {"heavy_hex7",
+       std::make_shared<CouplingGraph>(CouplingGraph::heavy_hex(3).induced(
+           {0, 1, 2, 5, 6, 7, 15}))});
+
+  std::vector<Case> cases;
+  cases.push_back({"GHZ_5", make_ghz(5)});
+  // Spread-out Bell products: the instances where the Steiner-priced
+  // bound beats the unit bound hardest (entangled pairs far apart on the
+  // device, nested so one interaction component can host both).
+  cases.push_back(
+      {"bell(0,3)x(1,2)",
+       make_uniform(4, {0b0000, 0b1001, 0b0110, 0b1111})});
+  if (!bench::smoke_mode()) {
+    cases.push_back({"GHZ_6", make_ghz(6)});
+    cases.push_back({"W_5", make_w(5)});
+    cases.push_back(
+        {"bell(0,5)x(1,4)",
+         make_uniform(6, {0b000000, 0b100001, 0b010010, 0b110011})});
+    Rng rng(4321);
+    cases.push_back({"rand5m4", make_random_uniform(5, 4, rng)});
+  }
+  if (bench::full_mode()) {
+    cases.push_back({"W_6", make_w(6)});
+    cases.push_back({"Dicke(5,2)", make_dicke(5, 2)});
+  }
+
+  TextTable table({"instance", "topology", "routed cost", "optimal",
+                   "expanded (routed h)", "expanded (unit h)", "saved"});
+  bool any_pruning = false;
+  for (const auto& c : cases) {
+    for (const auto& t : topologies) {
+      if (c.state.num_qubits() > t.graph->num_qubits()) continue;
+      SynthesisResult results[2];
+      bool ok = true;
+      for (int aware = 1; aware >= 0; --aware) {
+        SearchOptions options;
+        options.coupling = t.graph;
+        options.routed_heuristic = aware == 1;
+        options.num_threads = bench::bench_threads();
+        options.time_budget_seconds = bench::full_mode() ? 300.0 : 30.0;
+        options.node_budget = bench::smoke_mode() ? 2'000'000 : 10'000'000;
+        const AStarSynthesizer synth(options);
+        results[aware] = synth.synthesize(c.state);
+        if (!results[aware].found) ok = false;
+      }
+      if (!ok) {
+        table.add_row({c.name, t.name, "budget", "-", "-", "-", "-"});
+        continue;
+      }
+      const SynthesisResult& routed_h = results[1];
+      const SynthesisResult& unit_h = results[0];
+      // Both heuristics are admissible: the certified optima must agree.
+      if (routed_h.optimal != unit_h.optimal ||
+          routed_h.cnot_cost != unit_h.cnot_cost) {
+        std::cerr << "HEURISTIC CERTIFICATE MISMATCH on " << c.name << "@"
+                  << t.name << ": " << routed_h.cnot_cost << " vs "
+                  << unit_h.cnot_cost << "\n";
+        return 1;
+      }
+      const Circuit routed = route_circuit(routed_h.circuit, *t.graph);
+      if (!respects_coupling(routed, *t.graph) ||
+          !verify_preparation(routed, c.state).ok ||
+          lowered_cnot_count(routed) != routed_h.cnot_cost) {
+        std::cerr << "ROUTING MISMATCH on " << c.name << "@" << t.name
+                  << "\n";
+        return 1;
+      }
+      const double saved =
+          unit_h.stats.nodes_expanded == 0
+              ? 0.0
+              : 100.0 *
+                    (1.0 - static_cast<double>(
+                               routed_h.stats.nodes_expanded) /
+                               static_cast<double>(
+                                   unit_h.stats.nodes_expanded));
+      any_pruning = any_pruning || routed_h.stats.nodes_expanded <
+                                       unit_h.stats.nodes_expanded;
+      table.add_row({c.name, t.name, TextTable::fmt(routed_h.cnot_cost),
+                     routed_h.optimal ? "yes" : "no",
+                     TextTable::fmt(static_cast<std::int64_t>(
+                         routed_h.stats.nodes_expanded)),
+                     TextTable::fmt(static_cast<std::int64_t>(
+                         unit_h.stats.nodes_expanded)),
+                     TextTable::fmt(saved, 1) + "%"});
+      for (const bool aware : {true, false}) {
+        const SynthesisResult& res = aware ? routed_h : unit_h;
+        bench::json_row("ablation_coupling",
+                        {{"instance", c.name},
+                         {"topology", t.name},
+                         {"heuristic", aware ? "routed" : "unit"},
+                         {"cnot_cost", res.cnot_cost},
+                         {"optimal", res.optimal},
+                         {"nodes_expanded", res.stats.nodes_expanded},
+                         {"seconds", res.stats.seconds},
+                         {"threads", bench::bench_threads()}});
+      }
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nBoth bounds are admissible, so every cell's optimum is\n"
+               "bit-identical; the saved column is pure pruning from\n"
+               "pricing merges at device Steiner-connection cost. Spread\n"
+               "Bell products gain the most: their correlation components\n"
+               "span the device, which the unit bound cannot see.\n";
+  if (!any_pruning) {
+    std::cerr << "NO PRUNING OBSERVED: the routed heuristic should beat "
+                 "the unit bound somewhere on this sweep\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation D: coupling topologies",
+      "Optimal routed CNOT cost per topology, 4-qubit sweep plus\n"
+      "beyond-4-qubit scaling on line/grid/heavy-hex with the\n"
+      "coupling-aware vs coupling-blind admissible heuristic\n"
+      "(every routed circuit is checked for coupling conformance\n"
+      "and re-verified).");
+  const int four = run_four_qubit_sweep();
+  if (four != 0) return four;
+  return run_scaling_sweep();
 }

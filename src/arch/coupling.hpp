@@ -24,6 +24,15 @@ class CouplingGraph {
   /// Star with qubit 0 at the center.
   static CouplingGraph star(int num_qubits);
   static CouplingGraph grid(int rows, int cols);
+  /// IBM-style heavy-hex lattice patch for odd code distance d: d "heavy"
+  /// rows of 2d-1 qubits (alternating data/flag wires, consecutive columns
+  /// adjacent) joined by bridge qubits every fourth column, with the
+  /// bridge columns offset by two between consecutive row gaps — the
+  /// Falcon/Eagle degree-<=3 hexagon motif. Row r, column c is qubit
+  /// r*(2d-1)+c; bridges are appended after all rows in (gap, column)
+  /// order. Throws for even d and for patches beyond kMaxQubits (d <= 3
+  /// with the current 24-qubit BasisIndex).
+  static CouplingGraph heavy_hex(int distance);
 
   int num_qubits() const { return num_qubits_; }
   bool has_edge(int a, int b) const;
@@ -31,6 +40,30 @@ class CouplingGraph {
   int distance(int a, int b) const;
   bool is_complete() const;
   bool is_connected() const;
+
+  /// Induced subgraph on `qubits` (distinct device ids): new qubit i is
+  /// device qubit qubits[i]; an edge survives iff both endpoints are kept.
+  CouplingGraph induced(const std::vector<int>& qubits) const;
+
+  /// Smallest-effort connected superset of `qubits`: while the induced
+  /// subgraph is disconnected, the closest pair of fragments (by device
+  /// hop distance, ties toward smaller ids) is joined through one device
+  /// shortest path. Returns the chosen device qubits in ascending order.
+  /// The result always induces a connected subgraph; used by the workflow
+  /// to host an entangled core whose wires are spread across the device.
+  std::vector<int> connected_superset(std::vector<int> qubits) const;
+
+  /// Lower bound on the number of edges of any connected subgraph of the
+  /// device spanning the `terminals` bitmask (bit q = qubit q): the unit
+  /// Steiner-tree size. Exact (Dreyfus-Wagner, precomputed per graph) for
+  /// devices up to kSteinerExactQubits; larger devices fall back to
+  /// max(k - 1, max pairwise terminal distance), which is still a valid
+  /// lower bound. 0 for fewer than two terminals; complete graphs answer
+  /// k - 1 without a table.
+  std::int64_t steiner_edges(std::uint32_t terminals) const;
+
+  /// Largest device for which steiner_edges is exact.
+  static constexpr int kSteinerExactQubits = 12;
 
   /// Routed CNOT cost: 1 on an edge, else the nearest-neighbour parity
   /// ladder 4*(d - 1) (see routing.hpp).
@@ -51,8 +84,12 @@ class CouplingGraph {
   int num_qubits_;
   std::vector<std::vector<int>> adjacency_;
   std::vector<std::vector<int>> distance_;  // -1 = unreachable
+  /// steiner_[mask] = exact unit Steiner-tree size for the terminal set
+  /// `mask`; empty when the graph is too large, complete, or disconnected.
+  std::vector<std::int16_t> steiner_;
 
   void compute_distances();
+  void compute_steiner_table();
 };
 
 }  // namespace qsp

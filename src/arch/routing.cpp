@@ -63,7 +63,10 @@ Circuit route_circuit(const Circuit& circuit, const CouplingGraph& coupling,
     }
   }
   const Circuit lowered = lower(reordered, lowering);
-  Circuit out(circuit.num_qubits());
+  // Size the output by the device, not the logical circuit: routed paths
+  // legitimately traverse device qubits above the logical register (e.g. a
+  // 2-qubit CNOT routed through the center of a star).
+  Circuit out(coupling.num_qubits());
   for (const Gate& g : lowered.gates()) {
     if (g.kind() != GateKind::kCNOT) {
       out.append(g);
@@ -85,7 +88,12 @@ bool respects_coupling(const Circuit& circuit,
   for (const Gate& g : circuit.gates()) {
     const auto qubits = g.qubits();
     if (qubits.size() <= 1) continue;
-    if (qubits.size() > 2) return false;
+    // The only native two-qubit gate is a positively controlled CNOT on a
+    // device edge; composite rotations (CRy/MCRy/UCRy) and negative
+    // controls must be lowered away first, so an un-lowered circuit never
+    // passes conformance by accident.
+    if (g.kind() != GateKind::kCNOT) return false;
+    if (!g.controls()[0].positive) return false;
     if (!coupling.has_edge(qubits[0], qubits[1])) return false;
   }
   return true;

@@ -22,12 +22,17 @@ void emit_routed_cnot(Circuit& out, const std::vector<int>& path,
                       bool positive);
 
 /// Rewrite `circuit` so every CNOT acts on a coupling edge. Composite
-/// gates (CRy/MCRy/UCRy) are lowered to {X, Ry, CNOT} first.
+/// gates (CRy/MCRy/UCRy) are lowered to {X, Ry, CNOT} first. The output
+/// register is sized by the device (`coupling.num_qubits()`): routed
+/// ladders may pass through device qubits above the logical register,
+/// which always return to |0> (the verifier treats them as ancillas).
 Circuit route_circuit(const Circuit& circuit, const CouplingGraph& coupling,
                       const LoweringOptions& lowering = {});
 
-/// True if every multi-qubit gate of the (lowered) circuit acts on an
-/// edge of the coupling graph.
+/// True if the circuit is native for the device: 1-qubit gates plus
+/// positively controlled CNOTs on coupling edges only. Composite
+/// rotations (CRy/MCRy/UCRy) and negative controls fail conformance even
+/// when their wires touch an edge — lower/route first.
 bool respects_coupling(const Circuit& circuit,
                        const CouplingGraph& coupling);
 

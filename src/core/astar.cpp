@@ -9,7 +9,9 @@
 namespace qsp {
 
 AStarSynthesizer::AStarSynthesizer(SearchOptions options)
-    : options_(options) {}
+    : options_(options) {
+  validate_search_coupling("AStarSynthesizer", options_.coupling.get());
+}
 
 SynthesisResult AStarSynthesizer::synthesize(const QuantumState& target) const {
   const auto slot = SlotState::from_state(target);
@@ -43,9 +45,9 @@ SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
 
   ClassedArena arena;
   OpenQueue open;
-  auto h_of = [&](const SlotState& s) {
-    return heuristic_lower_bound(s, options_.heuristic);
-  };
+  auto h_of = search_heuristic(
+      options_.heuristic,
+      options_.routed_heuristic ? options_.coupling.get() : nullptr);
   auto g_of = [&](std::int64_t id) { return arena.node(id).g; };
 
   const std::int64_t root_h = h_of(target);

@@ -33,9 +33,16 @@ struct SearchOptions {
   /// Optional coupling constraint: arc costs become routed CNOT costs and
   /// qubit-permutation canonicalization is disabled unless the graph is
   /// complete (relabeling is only free on a symmetric coupling, as the
-  /// paper notes). Route the result with arch/routing.hpp to realize the
-  /// reported cost on hardware.
+  /// paper notes). The graph must be connected (searcher constructors
+  /// throw otherwise). Route the result with arch/routing.hpp to realize
+  /// the reported cost on hardware.
   std::shared_ptr<const CouplingGraph> coupling;
+  /// Price the admissible heuristic against the coupling's routed-cost
+  /// surface (Steiner-connection bound, core/heuristic.hpp). Turning this
+  /// off reproduces the coupling-blind unit-merge bound — still
+  /// admissible, so the optimum is unchanged, but the search expands more
+  /// nodes on restricted topologies (ablation_coupling quantifies it).
+  bool routed_heuristic = true;
   /// Worker shards for the exact search: 1 runs the serial kernel, larger
   /// values run the sharded HDA* kernel (core/parallel_astar.hpp) with
   /// that many threads, 0 uses all hardware threads. The parallel kernel

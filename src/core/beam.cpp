@@ -9,7 +9,9 @@
 
 namespace qsp {
 
-BeamSynthesizer::BeamSynthesizer(BeamOptions options) : options_(options) {}
+BeamSynthesizer::BeamSynthesizer(BeamOptions options) : options_(options) {
+  validate_search_coupling("BeamSynthesizer", options_.coupling.get());
+}
 
 SynthesisResult BeamSynthesizer::synthesize(const QuantumState& target) const {
   const auto slot = SlotState::from_state(target);
@@ -40,9 +42,9 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
   // must stay intact for path reconstruction.
   ClassIndex<std::int64_t> best_g;
 
-  auto h_of = [&](const SlotState& s) {
-    return heuristic_lower_bound(s, options_.heuristic);
-  };
+  // The beam carries no optimality certificate, so it always prices the
+  // heuristic against the device when a coupling is set.
+  auto h_of = search_heuristic(options_.heuristic, options_.coupling.get());
 
   nodes.push_back(SearchNode{target, 0, h_of(target),
                              SearchNode::kNoParent, Move{}});

@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "core/search_core.hpp"
+
 namespace qsp {
 
 ExactSynthesizer::ExactSynthesizer(ExactSynthesisOptions options)
-    : options_(options) {}
+    : options_(options) {
+  validate_search_coupling("ExactSynthesizer", options_.astar.coupling.get());
+  validate_search_coupling("ExactSynthesizer", options_.beam.coupling.get());
+}
 
 SynthesisResult ExactSynthesizer::synthesize(const QuantumState& target) const {
   const auto slot = SlotState::from_state(target);

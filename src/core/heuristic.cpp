@@ -1,5 +1,9 @@
 #include "core/heuristic.hpp"
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -47,10 +51,50 @@ bool correlated(const SlotState& state, int p, int q) {
          static_cast<unsigned __int128>(n1_) * n_1;
 }
 
+/// Grouping DP cap: beyond this many correlation parts the coupling-aware
+/// refinement falls back to the unit bound (still admissible). Exact-search
+/// states stay far below it.
+constexpr std::size_t kMaxGroupedParts = 8;
+
+/// Coupling-priced component bound: minimize, over every partition of the
+/// correlation parts (components as qubit masks, singletons as one-bit
+/// masks), the summed Steiner size of each group's union — the fewest
+/// device edges any circuit realizing that grouping must spend. A lone
+/// singleton still needs one incident edge (cost 1, its Steiner size is 0).
+std::int64_t grouped_steiner_bound(const CouplingGraph& coupling,
+                                   const std::vector<std::uint32_t>& parts) {
+  const std::size_t j = parts.size();
+  const std::uint32_t all = (1u << j) - 1;
+  // Stack buffers: this runs once per generated search node, and j is
+  // capped at kMaxGroupedParts.
+  std::array<std::uint32_t, std::size_t{1} << kMaxGroupedParts> unions;
+  unions[0] = 0;
+  for (std::uint32_t s = 1; s <= all; ++s) {
+    unions[s] = unions[s & (s - 1)] |
+                parts[static_cast<std::size_t>(std::countr_zero(s))];
+  }
+  constexpr std::int64_t kBig = std::numeric_limits<std::int64_t>::max() / 2;
+  std::array<std::int64_t, std::size_t{1} << kMaxGroupedParts> best;
+  best.fill(kBig);
+  best[0] = 0;
+  for (std::uint32_t s = 1; s <= all; ++s) {
+    const std::uint32_t low = s & (0u - s);
+    for (std::uint32_t group = s; group != 0; group = (group - 1) & s) {
+      if ((group & low) == 0) continue;  // anchor groups on the lowest part
+      const std::uint32_t mask = unions[group];
+      const std::int64_t cost = (mask & (mask - 1)) == 0
+                                    ? 1
+                                    : coupling.steiner_edges(mask);
+      best[s] = std::min(best[s], cost + best[s ^ group]);
+    }
+  }
+  return best[all];
+}
+
 }  // namespace
 
-std::int64_t heuristic_lower_bound(const SlotState& state,
-                                   HeuristicMode mode) {
+std::int64_t heuristic_lower_bound(const SlotState& state, HeuristicMode mode,
+                                   const CouplingGraph* coupling) {
   if (mode == HeuristicMode::kZero) return 0;
 
   const int n = state.num_qubits();
@@ -74,17 +118,31 @@ std::int64_t heuristic_lower_bound(const SlotState& state,
       }
     }
   }
-  std::vector<int> size(static_cast<std::size_t>(n), 0);
-  for (const int q : entangled) ++size[static_cast<std::size_t>(sets.find(q))];
-  std::int64_t bound = 0;
+  std::vector<std::uint32_t> mask(static_cast<std::size_t>(n), 0);
+  for (const int q : entangled) {
+    mask[static_cast<std::size_t>(sets.find(q))] |= std::uint32_t{1} << q;
+  }
+  std::int64_t unit_bound = 0;
   std::int64_t singletons = 0;
+  std::vector<std::uint32_t> parts;
   for (int r = 0; r < n; ++r) {
-    const int k = size[static_cast<std::size_t>(r)];
-    if (k >= 2) bound += k - 1;
+    const std::uint32_t part = mask[static_cast<std::size_t>(r)];
+    if (part == 0) continue;
+    parts.push_back(part);
+    const int k = popcount(part);
+    if (k >= 2) unit_bound += k - 1;
     if (k == 1) ++singletons;
   }
-  bound += (singletons + 1) / 2;
-  return bound;
+  unit_bound += (singletons + 1) / 2;
+
+  if (coupling == nullptr || coupling->is_complete() ||
+      coupling->num_qubits() < n || parts.size() > kMaxGroupedParts) {
+    return unit_bound;
+  }
+  // The grouped bound can never fall below the unit bound (device Steiner
+  // sizes dominate their complete-graph counterparts), but the max keeps
+  // the guarantee explicit.
+  return std::max(unit_bound, grouped_steiner_bound(*coupling, parts));
 }
 
 }  // namespace qsp

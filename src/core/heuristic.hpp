@@ -10,17 +10,33 @@
 //            correlation component: sum (k_i - 1) over components, plus
 //            ceil(s / 2) for entangled qubits with no pairwise correlation
 //            (e.g. parity states), which still need an incident edge each.
+//
+// With a coupling graph the kComponent bound is priced against the device
+// instead of counting merges at unit cost. Every routed arc of cost w
+// contributes interaction edges whose device shortest paths total at most
+// w hops, so the remaining cost is at least the fewest device edges that
+// connect each correlation component — a unit Steiner tree
+// (CouplingGraph::steiner_edges). Components may share one interaction
+// component in the eventual circuit (Steiner sizes are not additive under
+// union), so the bound minimizes over every grouping of components and
+// singletons, pricing a group by the Steiner size of its union; on a
+// complete device this reduces exactly to the unit-cost bound above.
 
 #include <cstdint>
 
+#include "arch/coupling.hpp"
 #include "core/slot_state.hpp"
 
 namespace qsp {
 
 enum class HeuristicMode { kZero, kPair, kComponent };
 
-/// Lower bound on gamma(|0>, state) in CNOTs under the chosen mode.
-std::int64_t heuristic_lower_bound(const SlotState& state,
-                                   HeuristicMode mode);
+/// Lower bound on gamma(|0>, state) in CNOTs under the chosen mode. With a
+/// non-null `coupling`, the bound is on the *routed* CNOT cost (the cost
+/// model the coupled search uses) and is never below the coupling-blind
+/// bound. kPair ignores the coupling: a single incident device edge always
+/// costs at least 1, so its bound is unchanged.
+std::int64_t heuristic_lower_bound(const SlotState& state, HeuristicMode mode,
+                                   const CouplingGraph* coupling = nullptr);
 
 }  // namespace qsp

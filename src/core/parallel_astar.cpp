@@ -69,6 +69,9 @@ class HdaStar {
   HdaStar(const SearchOptions& options, const SlotState& target)
       : options_(options),
         target_(target),
+        h_(search_heuristic(
+            options.heuristic,
+            options.routed_heuristic ? options.coupling.get() : nullptr)),
         level_(effective_canonical_level(options.canonical,
                                          options.coupling.get())),
         move_options_(search_move_gen_options(
@@ -133,9 +136,7 @@ class HdaStar {
         gid_local(gid));
   }
 
-  std::int64_t h_of(const SlotState& s) const {
-    return heuristic_lower_bound(s, options_.heuristic);
-  }
+  std::int64_t h_of(const SlotState& s) const { return h_(s); }
 
   int owner_of(const CanonicalKey& key) const {
     return static_cast<int>(CanonicalKeyHash{}(key) %
@@ -280,6 +281,9 @@ class HdaStar {
 
   const SearchOptions& options_;
   const SlotState& target_;
+  /// The shared searcher heuristic (search_core::search_heuristic), so
+  /// the kernels cannot drift apart on how h is constructed.
+  const decltype(search_heuristic(HeuristicMode::kZero, nullptr)) h_;
   const CanonicalLevel level_;
   const MoveGenOptions move_options_;
   const SearchBudget budget_;
@@ -297,7 +301,10 @@ int resolve_num_threads(int requested) {
 }
 
 ParallelAStarSynthesizer::ParallelAStarSynthesizer(SearchOptions options)
-    : options_(options) {}
+    : options_(options) {
+  validate_search_coupling("ParallelAStarSynthesizer",
+                           options_.coupling.get());
+}
 
 SynthesisResult ParallelAStarSynthesizer::synthesize(
     const QuantumState& target) const {

@@ -1,5 +1,8 @@
 #include "core/search_core.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace qsp {
 
 CanonicalLevel effective_canonical_level(CanonicalLevel requested,
@@ -10,6 +13,17 @@ CanonicalLevel effective_canonical_level(CanonicalLevel requested,
     return CanonicalLevel::kU2;
   }
   return requested;
+}
+
+void validate_search_coupling(const char* context,
+                              const CouplingGraph* coupling) {
+  if (coupling != nullptr && !coupling->is_connected()) {
+    throw std::invalid_argument(
+        std::string(context) +
+        ": coupling graph is disconnected — routed CNOT costs are "
+        "undefined between unreachable qubits; pass a connected device "
+        "graph (or synthesize each fragment against its own subgraph)");
+  }
 }
 
 MoveGenOptions search_move_gen_options(int max_controls,

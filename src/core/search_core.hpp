@@ -18,6 +18,7 @@
 #include "arch/coupling.hpp"
 #include "circuit/circuit.hpp"
 #include "core/canonical.hpp"
+#include "core/heuristic.hpp"
 #include "core/moves.hpp"
 #include "core/slot_state.hpp"
 #include "util/timer.hpp"
@@ -58,6 +59,23 @@ MoveGenOptions search_move_gen_options(int max_controls,
                                        std::uint64_t full_candidate_cap,
                                        const CouplingGraph* coupling,
                                        CanonicalLevel level);
+
+/// Searchers accept a coupling graph only when routed CNOT costs exist
+/// between every qubit pair; a disconnected device would otherwise throw
+/// from deep inside move generation. `context` names the thrower.
+void validate_search_coupling(const char* context,
+                              const CouplingGraph* coupling);
+
+/// The shared h(.) every searcher feeds its open list: the admissible
+/// remainder bound of core/heuristic.hpp, priced against the device's
+/// routed-cost surface when `coupling` is non-null (pass nullptr for the
+/// coupling-blind unit bound, e.g. for the ablation benches).
+inline auto search_heuristic(HeuristicMode mode,
+                             const CouplingGraph* coupling) {
+  return [mode, coupling](const SlotState& state) {
+    return heuristic_lower_bound(state, mode, coupling);
+  };
+}
 
 /// Node-generation and wall-clock budgets shared by all searchers.
 class SearchBudget {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "arch/routing.hpp"
 #include "circuit/lowering.hpp"
 #include "core/canonical.hpp"
+#include "core/search_core.hpp"
 #include "prep/nflow.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -26,12 +29,26 @@ QuantumState normalize_global_sign(const QuantumState& state) {
 
 }  // namespace
 
-Solver::Solver(WorkflowOptions options) : options_(std::move(options)) {}
+Solver::Solver(WorkflowOptions options) : options_(std::move(options)) {
+  validate_search_coupling("Solver", options_.coupling.get());
+}
 
 Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
                                        bool* used_exact) const {
   if (used_exact != nullptr) *used_exact = false;
   const QuantumState target = normalize_global_sign(reduced);
+  const CouplingGraph* device = options_.coupling.get();
+  // With a device the register is the device register: connector and
+  // spare qubits above the target are ancillas that end in |0>.
+  const int width = device != nullptr
+                        ? std::max(device->num_qubits(), target.num_qubits())
+                        : target.num_qubits();
+  const auto widen = [width](Circuit circuit) {
+    if (circuit.num_qubits() == width) return circuit;
+    Circuit wide(width);
+    wide.append(circuit);
+    return wide;
+  };
   const auto slot = SlotState::from_state(target);
   if (!slot.has_value()) {
     // Signed or irrational tail: finish with cost-aware cardinality
@@ -39,46 +56,69 @@ Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
     MFlowOptions fallback = options_.mflow;
     fallback.strategy = MFlowOptions::PairStrategy::kCheapest;
     const MFlowResult res = mflow_prepare(target, fallback);
-    return res.circuit;
+    return widen(res.circuit);
   }
 
   SlotState peeled = *slot;
   const std::vector<Gate> peel = free_peel_gates(peeled);
 
-  Circuit prep(target.num_qubits());
+  Circuit prep(width);
   if (!peeled.is_ground()) {
-    // Extract the entangled core onto a narrow register.
+    // Extract the entangled core onto a narrow register. Coupling-blind,
+    // the register is exactly the non-constant wires; with a device it is
+    // the smallest connected induced subgraph hosting those wires, so the
+    // exact search sees real routed costs (and may use the connector
+    // wires as workspace — they are constant |0> in the peeled state).
     std::vector<int> active;
     for (int q = 0; q < peeled.num_qubits(); ++q) {
       if (!peeled.qubit_constant(q)) active.push_back(q);
     }
     QSP_ASSERT(!active.empty());
+    std::vector<int> host = active;
+    std::shared_ptr<const CouplingGraph> tail_coupling;
+    if (device != nullptr && !device->is_complete()) {
+      host = device->connected_superset(active);
+      if (static_cast<int>(host.size()) > options_.exact_max_host_qubits) {
+        // The core is so spread out that connecting it needs more wires
+        // than the exact kernel should search over; reduce instead (the
+        // final routing still makes the result conformant).
+        MFlowOptions fallback = options_.mflow;
+        fallback.strategy = MFlowOptions::PairStrategy::kCheapest;
+        return widen(mflow_prepare(target, fallback).circuit);
+      }
+      tail_coupling =
+          std::make_shared<const CouplingGraph>(device->induced(host));
+    }
     std::vector<SlotEntry> narrow_entries;
     narrow_entries.reserve(peeled.entries().size());
     for (const SlotEntry& e : peeled.entries()) {
       BasisIndex idx = 0;
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        if (get_bit(e.index, active[i]) != 0) {
+      for (std::size_t i = 0; i < host.size(); ++i) {
+        if (get_bit(e.index, host[i]) != 0) {
           idx |= BasisIndex{1} << i;
         }
       }
       narrow_entries.push_back(SlotEntry{idx, e.count});
     }
-    const SlotState narrow(static_cast<int>(active.size()),
+    const SlotState narrow(static_cast<int>(host.size()),
                            std::move(narrow_entries));
     ExactSynthesisOptions exact_options = options_.exact;
     if (options_.num_threads != 1) {
       exact_options.astar.num_threads = options_.num_threads;
+    }
+    if (tail_coupling != nullptr) {
+      exact_options.astar.coupling = tail_coupling;
+      exact_options.beam.coupling = tail_coupling;
     }
     const ExactSynthesizer exact(exact_options);
     const SynthesisResult res = exact.synthesize(narrow);
     if (!res.found) {
       MFlowOptions fallback = options_.mflow;
       fallback.strategy = MFlowOptions::PairStrategy::kCheapest;
-      return mflow_prepare(target, fallback).circuit;
+      return widen(mflow_prepare(target, fallback).circuit);
     }
     for (const Gate& g : res.circuit.gates()) {
-      prep.append(g.remapped(active));
+      prep.append(g.remapped(host));
     }
     if (used_exact != nullptr) *used_exact = true;
   }
@@ -94,6 +134,29 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   const Deadline deadline(options_.time_budget_seconds);
   WorkflowResult result;
   const int n = target.num_qubits();
+  const CouplingGraph* device = options_.coupling.get();
+  if (device != nullptr && device->num_qubits() < n) {
+    throw std::invalid_argument(
+        "Solver::prepare: device has fewer qubits than the target");
+  }
+  // Device register width; equals n when no coupling is set.
+  const int nw = device != nullptr ? device->num_qubits() : n;
+  // Route the assembled workflow circuit onto the device so the result
+  // satisfies respects_coupling (CNOTs on edges, composites lowered).
+  const auto routed_onto_device = [&](Circuit circuit) {
+    if (device == nullptr) return circuit;
+    return route_circuit(circuit, *device);
+  };
+  // Selection metric for competing tails/paths: lowered CNOT count,
+  // measured after routing when a device is set — a tail with fewer
+  // logical CNOTs can still lose once its long-range pairs pay 4(d-1).
+  const auto selection_cost = [&](const Circuit& circuit,
+                                  const LoweringOptions& lowering) {
+    if (device == nullptr) {
+      return count_cnots_after_lowering(circuit, lowering);
+    }
+    return lowered_cnot_count(route_circuit(circuit, *device, lowering));
+  };
   const auto m = static_cast<std::uint64_t>(target.cardinality());
   result.sparse_path =
       static_cast<std::uint64_t>(n) * m < (std::uint64_t{1} << n);
@@ -112,7 +175,8 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   };
 
   if (fits_thresholds(target)) {
-    result.circuit = prepare_via_exact_tail(target, &result.used_exact_tail);
+    result.circuit = routed_onto_device(
+        prepare_via_exact_tail(target, &result.used_exact_tail));
     result.found = true;
     return result;
   }
@@ -137,7 +201,7 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
       result.timed_out = true;
       return result;
     }
-    result.circuit = std::move(*circuit);
+    result.circuit = routed_onto_device(std::move(*circuit));
     result.found = true;
     return result;
   }
@@ -150,7 +214,7 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   const int t = std::min(options_.exact_max_qubits, n);
   if (t < 1) {
     // Exact tail disabled: plain qubit reduction.
-    result.circuit = nflow_prepare(target);
+    result.circuit = routed_onto_device(nflow_prepare(target));
     result.found = !deadline.expired();
     result.timed_out = !result.found;
     return result;
@@ -168,14 +232,14 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
       marginal_slots->total() <= options_.dense_tail_total_cap) {
     bool exact_used = false;
     Circuit exact_tail = prepare_via_exact_tail(marginal, &exact_used);
-    if (exact_used && count_cnots_after_lowering(exact_tail, elide) <
-                          count_cnots_after_lowering(tail, elide)) {
+    if (exact_used && selection_cost(exact_tail, elide) <
+                          selection_cost(tail, elide)) {
       tail = std::move(exact_tail);
       used_exact = true;
     }
   }
   result.used_exact_tail = used_exact;
-  Circuit circuit(n);
+  Circuit circuit(nw);
   circuit.append(tail);
   circuit.append(nflow_stages(target, t));
 
@@ -184,8 +248,8 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   if (target.cardinality() <= options_.dual_path_max_cardinality) {
     bool sparse_exact = false;
     const auto alt = sparse_prepare(&sparse_exact);
-    if (alt.has_value() && count_cnots_after_lowering(*alt, elide) <
-                               count_cnots_after_lowering(circuit, elide)) {
+    if (alt.has_value() && selection_cost(*alt, elide) <
+                               selection_cost(circuit, elide)) {
       circuit = *alt;
       result.used_exact_tail = sparse_exact;
     }
@@ -194,7 +258,7 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
     result.timed_out = true;
     return result;
   }
-  result.circuit = std::move(circuit);
+  result.circuit = routed_onto_device(std::move(circuit));
   result.found = true;
   return result;
 }

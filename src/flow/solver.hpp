@@ -4,6 +4,9 @@
 // synthesis thresholds (n_eff <= 4 active qubits and cardinality <= 16 by
 // default), then finish with the exact kernel.
 
+#include <memory>
+
+#include "arch/coupling.hpp"
 #include "circuit/circuit.hpp"
 #include "core/exact_synthesizer.hpp"
 #include "prep/mflow.hpp"
@@ -36,6 +39,23 @@ struct WorkflowOptions {
   /// exact.astar.num_threads and runs the sharded HDA* kernel
   /// (core/parallel_astar.hpp) on every exact-tail search.
   int num_threads = 1;
+  /// Optional target device. When set (and not all-to-all), the workflow
+  /// becomes coupling-aware end to end: the exact tail hosts the
+  /// entangled core on a connected induced subgraph of the device
+  /// (CouplingGraph::connected_superset of the core's wires) and searches
+  /// against that subgraph's routed costs, circuits are sized by the
+  /// device register, and Solver::prepare routes its final output so
+  /// respects_coupling holds on the result. Must be connected (the Solver
+  /// constructor throws otherwise) and at least as wide as the target
+  /// (prepare throws otherwise).
+  std::shared_ptr<const CouplingGraph> coupling;
+  /// Cap on the connected host register for the exact tail. The
+  /// exact_max_qubits threshold counts *entangled* wires, but on a wide
+  /// device the connected superset can pull in many connector wires for
+  /// a spread-out core; beyond this cap the tail skips the exact kernel
+  /// and uses the cardinality-reduction fallback instead of launching a
+  /// search the thresholds never meant to allow.
+  int exact_max_host_qubits = 8;
 
   WorkflowOptions() {
     mflow.strategy = MFlowOptions::PairStrategy::kCheapest;
@@ -60,6 +80,10 @@ struct WorkflowResult {
   bool sparse_path = false;
   /// True if the exact kernel produced the tail of the circuit.
   bool used_exact_tail = false;
+  /// The preparation. With WorkflowOptions::coupling set, the register is
+  /// the device register (target qubits first, spare device qubits are
+  /// ancillas returning to |0>) and the circuit is routed: only 1-qubit
+  /// gates and CNOTs on device edges.
   Circuit circuit{1};
 };
 
@@ -73,7 +97,13 @@ class Solver {
   /// Prepare a state that already fits (or nearly fits) the exact
   /// thresholds: peel separable structure, synthesize the entangled core
   /// exactly, re-embed. Falls back to cardinality reduction when the state
-  /// has no slot decomposition. Exposed for tests and benches.
+  /// has no slot decomposition. With WorkflowOptions::coupling set, the
+  /// core is hosted on a connected induced subgraph of the device (the
+  /// core's wires plus shortest-path connectors) and the exact search
+  /// runs against that subgraph's routed costs; the returned register is
+  /// the device register. The output is *not* routed here — prepare()
+  /// routes the assembled workflow circuit once at the end. Exposed for
+  /// tests and benches.
   Circuit prepare_via_exact_tail(const QuantumState& reduced,
                                  bool* used_exact = nullptr) const;
 

@@ -78,5 +78,70 @@ TEST(Heuristic, SeparableQubitsExcluded) {
   EXPECT_EQ(heuristic_lower_bound(s, HeuristicMode::kPair), 1);
 }
 
+TEST(Heuristic, CouplingCompleteMatchesBlind) {
+  Rng rng(42);
+  const CouplingGraph full = CouplingGraph::full(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SlotState s = slot_of(make_random_uniform(5, 5, rng));
+    for (const HeuristicMode mode :
+         {HeuristicMode::kPair, HeuristicMode::kComponent}) {
+      EXPECT_EQ(heuristic_lower_bound(s, mode, &full),
+                heuristic_lower_bound(s, mode));
+    }
+  }
+}
+
+TEST(Heuristic, CouplingPricesSpreadComponents) {
+  const CouplingGraph line = CouplingGraph::line(4);
+  // Bell(0,3): the device must connect the whole line.
+  const SlotState far_bell = SlotState::from_indices(4, {0b0000, 0b1001});
+  EXPECT_EQ(heuristic_lower_bound(far_bell, HeuristicMode::kComponent), 1);
+  EXPECT_EQ(
+      heuristic_lower_bound(far_bell, HeuristicMode::kComponent, &line), 3);
+  // Bell(0,3) x Bell(1,2): two components, but one connected subgraph
+  // spanning the line can host both — the grouped bound must price the
+  // merged interaction component (3 edges), not the sum of per-component
+  // Steiner trees (3 + 1).
+  const SlotState nested =
+      SlotState::from_indices(4, {0b0000, 0b1001, 0b0110, 0b1111});
+  EXPECT_EQ(heuristic_lower_bound(nested, HeuristicMode::kComponent), 2);
+  EXPECT_EQ(
+      heuristic_lower_bound(nested, HeuristicMode::kComponent, &line), 3);
+  // GHZ_4 already needs every wire: the routed bound stays 3.
+  const SlotState ghz = slot_of(make_ghz(4));
+  EXPECT_EQ(heuristic_lower_bound(ghz, HeuristicMode::kComponent, &line), 3);
+  // kPair is deliberately coupling-blind: an incident edge costs >= 1
+  // anywhere, so the bound cannot move.
+  EXPECT_EQ(heuristic_lower_bound(far_bell, HeuristicMode::kPair, &line),
+            heuristic_lower_bound(far_bell, HeuristicMode::kPair));
+}
+
+TEST(Heuristic, CouplingSingletonsPairOnlyWhenAdjacent) {
+  const CouplingGraph line = CouplingGraph::line(3);
+  // Parity state: three entangled, pairwise-uncorrelated qubits. On a
+  // line the grouped bound can pair adjacent singletons (one shared edge)
+  // but a spread pair costs its distance; the best grouping here is
+  // {0,1} via edge + {2} incident = 2, matching the blind bound.
+  const SlotState parity =
+      SlotState::from_indices(3, {0b000, 0b011, 0b101, 0b110});
+  EXPECT_EQ(
+      heuristic_lower_bound(parity, HeuristicMode::kComponent, &line), 2);
+}
+
+TEST(Heuristic, CouplingNeverBelowBlindBound) {
+  Rng rng(43);
+  const CouplingGraph line = CouplingGraph::line(6);
+  const CouplingGraph grid = CouplingGraph::grid(2, 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(4));
+    const int m = 2 + static_cast<int>(rng.next_below(7));
+    const SlotState s = slot_of(make_random_uniform(n, m, rng));
+    for (const CouplingGraph* g : {&line, &grid}) {
+      EXPECT_GE(heuristic_lower_bound(s, HeuristicMode::kComponent, g),
+                heuristic_lower_bound(s, HeuristicMode::kComponent));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qsp

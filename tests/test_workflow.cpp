@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "arch/routing.hpp"
 #include "circuit/lowering.hpp"
 #include "flow/methods.hpp"
 #include "sim/verifier.hpp"
@@ -158,6 +162,107 @@ TEST(Workflow, BorderlineDenseDualPathBeatsQubitReduction) {
   LoweringOptions elide;
   elide.elide_zero_rotations = true;
   EXPECT_LT(count_cnots_after_lowering(res.circuit, elide), 62);
+}
+
+TEST(Workflow, CouplingOutputConformsAndVerifies) {
+  // End-to-end coupling awareness: with a device set, the workflow output
+  // must be native for the device (tightened respects_coupling) and still
+  // prepare the target, with spare device wires back in |0>.
+  WorkflowOptions options;
+  options.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::grid(2, 3));
+  const Solver solver(options);
+  Rng rng(408);
+  std::vector<QuantumState> targets;
+  targets.push_back(make_ghz(5));
+  targets.push_back(make_dicke(4, 2));
+  targets.push_back(make_random_uniform(5, 5, rng));
+  targets.push_back(make_random_uniform(6, 12, rng));
+  for (const QuantumState& target : targets) {
+    const WorkflowResult res = solver.prepare(target);
+    ASSERT_TRUE(res.found) << target.to_string();
+    EXPECT_EQ(res.circuit.num_qubits(), 6);
+    EXPECT_TRUE(respects_coupling(res.circuit, *options.coupling))
+        << target.to_string();
+    verify_preparation_or_throw(res.circuit, target);
+  }
+}
+
+TEST(Workflow, CouplingExactTailHostsCoreOnConnectedSubgraph) {
+  // Bell(0,5) on a line: the core's wires {0, 5} induce a disconnected
+  // subgraph, so the tail must grow a connected host through the middle
+  // wires and still verify; the routed workflow output must conform.
+  WorkflowOptions options;
+  options.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::line(6));
+  const Solver solver(options);
+  const QuantumState far_bell = make_uniform(6, {0b000000, 0b100001});
+  bool used_exact = false;
+  const Circuit tail = solver.prepare_via_exact_tail(far_bell, &used_exact);
+  EXPECT_TRUE(used_exact);
+  verify_preparation_or_throw(tail, far_bell);
+
+  const WorkflowResult res = solver.prepare(far_bell);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.used_exact_tail);
+  EXPECT_TRUE(respects_coupling(res.circuit, *options.coupling));
+  verify_preparation_or_throw(res.circuit, far_bell);
+}
+
+TEST(Workflow, CouplingHeavyHexDevice) {
+  // A 6-qubit GHZ hosted on the 18-qubit heavy-hex patch: the device is
+  // wider than the target, so the routed result carries ancilla wires.
+  WorkflowOptions options;
+  options.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::heavy_hex(3));
+  const Solver solver(options);
+  const QuantumState target = make_ghz(6);
+  const WorkflowResult res = solver.prepare(target);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.circuit.num_qubits(), 18);
+  EXPECT_TRUE(respects_coupling(res.circuit, *options.coupling));
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+TEST(Workflow, CouplingHostCapFallsBackWhenCoreTooSpread) {
+  // Bell(0,14) across the heavy-hex lattice: only two entangled wires,
+  // but connecting them needs ~9 host qubits — beyond
+  // exact_max_host_qubits, so the tail must skip the exact kernel (the
+  // thresholds were sized for <= exact_max_qubits-entangled cores) and
+  // the workflow must still deliver a conformant, verified circuit.
+  WorkflowOptions options;
+  options.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::heavy_hex(3));
+  const Solver solver(options);
+  const QuantumState far_bell =
+      make_uniform(15, {0, (BasisIndex{1} << 14) | 1});
+  const WorkflowResult res = solver.prepare(far_bell);
+  ASSERT_TRUE(res.found);
+  EXPECT_FALSE(res.used_exact_tail);
+  EXPECT_TRUE(respects_coupling(res.circuit, *options.coupling));
+  verify_preparation_or_throw(res.circuit, far_bell);
+
+  // Raising the cap re-enables the exact kernel on the same instance.
+  WorkflowOptions wide = options;
+  wide.exact_max_host_qubits = 12;
+  const WorkflowResult exact_res = Solver(wide).prepare(far_bell);
+  ASSERT_TRUE(exact_res.found);
+  EXPECT_TRUE(exact_res.used_exact_tail);
+  EXPECT_TRUE(respects_coupling(exact_res.circuit, *options.coupling));
+  verify_preparation_or_throw(exact_res.circuit, far_bell);
+}
+
+TEST(Workflow, CouplingValidation) {
+  WorkflowOptions disconnected;
+  disconnected.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph(4, {{0, 1}, {2, 3}}));
+  EXPECT_THROW(Solver{disconnected}, std::invalid_argument);
+
+  WorkflowOptions narrow;
+  narrow.coupling =
+      std::make_shared<CouplingGraph>(CouplingGraph::line(3));
+  const Solver solver(narrow);
+  EXPECT_THROW(solver.prepare(make_ghz(5)), std::invalid_argument);
 }
 
 TEST(Workflow, TimedOutReported) {
