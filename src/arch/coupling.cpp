@@ -375,6 +375,19 @@ std::vector<int> CouplingGraph::shortest_path(int from, int to) const {
   return path;
 }
 
+std::string CouplingGraph::fingerprint() const {
+  std::ostringstream os;
+  os << 'n' << num_qubits_ << ':';
+  // Neighbor lists are sorted in the constructor, so this enumeration is
+  // already canonical for a given edge set.
+  for (int a = 0; a < num_qubits_; ++a) {
+    for (const int b : adjacency_[static_cast<std::size_t>(a)]) {
+      if (b > a) os << a << '-' << b << ';';
+    }
+  }
+  return os.str();
+}
+
 std::string CouplingGraph::to_string() const {
   std::ostringstream os;
   os << "coupling(" << num_qubits_ << " qubits:";

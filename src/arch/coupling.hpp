@@ -78,6 +78,13 @@ class CouplingGraph {
   /// Some shortest path between two qubits (inclusive endpoints).
   std::vector<int> shortest_path(int from, int to) const;
 
+  /// Stable identity string: qubit count plus the sorted undirected edge
+  /// list. Equal fingerprints imply identical routed-cost surfaces, so the
+  /// equivalence cache may share templates across graphs with the same
+  /// fingerprint (e.g. identical induced host patches on different
+  /// devices).
+  std::string fingerprint() const;
+
   std::string to_string() const;
 
  private:

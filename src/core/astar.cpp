@@ -1,8 +1,10 @@
 #include "core/astar.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/parallel_astar.hpp"
+#include "core/search_cache.hpp"
 #include "core/search_core.hpp"
 #include "util/timer.hpp"
 
@@ -24,12 +26,31 @@ SynthesisResult AStarSynthesizer::synthesize(const QuantumState& target) const {
 }
 
 SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
+  // The wall clock starts before the cache probe: time spent blocked on
+  // another thread's in-flight search of this class counts against this
+  // search's own budget, so a timed-out wait can never double the
+  // stage's wall clock.
+  const Deadline overall(options_.time_budget_seconds);
+  // One probe covers both kernels: consult (and possibly wait on an
+  // in-flight search of the same class) before dispatch, publish after.
+  ScopedCacheProbe probe(options_.cache.get(), target,
+                         options_.coupling.get(), options_.max_controls,
+                         options_.time_budget_seconds);
+  if (probe.hit()) return probe.result();
+
   if (options_.num_threads != 1) {
-    return ParallelAStarSynthesizer(options_).synthesize(target);
+    SearchOptions parallel_options = options_;
+    parallel_options.cache = nullptr;  // this probe already owns the claim
+    parallel_options.time_budget_seconds = clamp_budget(0.0, overall);
+    const SynthesisResult parallel_result =
+        ParallelAStarSynthesizer(std::move(parallel_options))
+            .synthesize(target);
+    probe.publish(parallel_result);
+    return parallel_result;
   }
 
   const Timer timer;
-  const SearchBudget budget(options_.time_budget_seconds,
+  const SearchBudget budget(clamp_budget(0.0, overall),
                             options_.node_budget);
   SynthesisResult result;
 
@@ -90,6 +111,7 @@ SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
         [&](std::int64_t id) -> const SearchNode& { return arena.node(id); },
         goal_id, target.num_qubits());
   }
+  probe.publish(result);
   return result;
 }
 

@@ -18,6 +18,8 @@
 
 namespace qsp {
 
+class SearchCache;
+
 struct SearchOptions {
   HeuristicMode heuristic = HeuristicMode::kComponent;
   CanonicalLevel canonical = CanonicalLevel::kPU2Exact;
@@ -48,6 +50,13 @@ struct SearchOptions {
   /// that many threads, 0 uses all hardware threads. The parallel kernel
   /// keeps the optimality certificate (see docs/ARCHITECTURE.md).
   int num_threads = 1;
+  /// Optional cross-request equivalence cache (core/search_cache.hpp).
+  /// When set, the search first consults the cache for the target's
+  /// canonical class (possibly waiting on another thread's in-flight
+  /// search of the same class) and publishes certified-optimal results
+  /// back into it. nullptr = no caching (the default; all one-shot paths
+  /// are unchanged).
+  std::shared_ptr<SearchCache> cache;
 };
 
 struct SearchStats {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/search_cache.hpp"
 #include "core/search_core.hpp"
 #include "util/timer.hpp"
 
@@ -23,6 +24,17 @@ SynthesisResult BeamSynthesizer::synthesize(const QuantumState& target) const {
 }
 
 SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
+  // Consult the equivalence cache: a stored certified-optimal circuit
+  // beats any beam descent. The probe is consult-only — beam results
+  // never carry the certificate, so claiming in-flight ownership would
+  // only make certifying searchers of the same class queue behind a
+  // search that cannot populate the cache.
+  ScopedCacheProbe probe(options_.cache.get(), target,
+                         options_.coupling.get(), options_.max_controls,
+                         options_.time_budget_seconds,
+                         /*consult_only=*/true);
+  if (probe.hit()) return probe.result();
+
   const Timer timer;
   const Deadline deadline(options_.time_budget_seconds);
   SynthesisResult result;

@@ -31,6 +31,10 @@ struct BeamOptions {
   /// Optional coupling constraint (see SearchOptions::coupling).
   std::shared_ptr<const CouplingGraph> coupling;
   double time_budget_seconds = 0.0;
+  /// Optional equivalence cache (see SearchOptions::cache). The beam
+  /// consults it — a cached certified-optimal circuit beats any beam
+  /// descent — but never populates it: beam results carry no certificate.
+  std::shared_ptr<SearchCache> cache;
 };
 
 class BeamSynthesizer {

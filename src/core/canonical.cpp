@@ -27,8 +27,11 @@ CanonicalKey translated_sorted(const std::vector<SlotEntry>& entries,
 }
 
 /// Exact lex-min over all qubit permutations of an (already translated)
-/// packed entry vector. n <= 8 (guarded by util::permutations).
-CanonicalKey min_over_permutations(const CanonicalKey& packed, int n) {
+/// packed entry vector. n <= 8 (guarded by util::permutations). When
+/// `argmin` is non-null it receives the first permutation achieving the
+/// minimum (the scan keeps first-best, so ties resolve deterministically).
+CanonicalKey min_over_permutations(const CanonicalKey& packed, int n,
+                                   std::vector<int>* argmin = nullptr) {
   CanonicalKey best;
   for (const auto& perm : permutations(n)) {
     CanonicalKey cur;
@@ -38,7 +41,10 @@ CanonicalKey min_over_permutations(const CanonicalKey& packed, int n) {
                          static_cast<std::uint32_t>(pe)));
     }
     std::sort(cur.begin(), cur.end());
-    if (best.empty() || cur < best) best = std::move(cur);
+    if (best.empty() || cur < best) {
+      best = std::move(cur);
+      if (argmin != nullptr) *argmin = perm;
+    }
   }
   return best;
 }
@@ -47,11 +53,14 @@ CanonicalKey min_over_permutations(const CanonicalKey& packed, int n) {
 /// that lexicographically minimizes the sorted partial (prefix, count)
 /// vector. Sound for deduplication (the result lies in the orbit) though
 /// not guaranteed orbit-minimal; used when n is too large for exact
-/// permutation search.
-CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n) {
+/// permutation search. When `argmin` is non-null it receives the implied
+/// permutation (the qubit picked at step s lands at bit n-1-s).
+CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n,
+                              std::vector<int>* argmin = nullptr) {
   const std::size_t m = packed.size();
   std::vector<std::uint32_t> prefix(m, 0);
   std::vector<bool> used(static_cast<std::size_t>(n), false);
+  if (argmin != nullptr) argmin->assign(static_cast<std::size_t>(n), 0);
   auto partial_key = [&](int q) {
     CanonicalKey vals(m);
     for (std::size_t i = 0; i < m; ++i) {
@@ -76,6 +85,9 @@ CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n) {
       }
     }
     used[static_cast<std::size_t>(best_q)] = true;
+    if (argmin != nullptr) {
+      (*argmin)[static_cast<std::size_t>(best_q)] = n - 1 - step;
+    }
     for (std::size_t i = 0; i < m; ++i) {
       const auto index = static_cast<BasisIndex>(packed[i] >> 32);
       prefix[i] = (prefix[i] << 1) |
@@ -90,6 +102,29 @@ CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n) {
   return out;
 }
 
+/// Ry angle realizing the free merge of separable qubit q on the
+/// statevector: rotates the qubit's product factor (sqrt(j), sqrt(k)) onto
+/// (sqrt(j+k), 0), exactly the bit clear compress_free performs. A
+/// separable non-constant qubit has j > 0 and k > 0 in every rest-group
+/// (a zero on one side of any group breaks the common-ratio test), so any
+/// group determines the angle.
+double merge_angle(const SlotState& state, int q) {
+  const BasisIndex bit = BasisIndex{1} << q;
+  std::map<BasisIndex, std::pair<std::uint64_t, std::uint64_t>> groups;
+  for (const SlotEntry& e : state.entries()) {
+    auto& [j, k] = groups[e.index & ~bit];
+    ((e.index & bit) == 0 ? j : k) += e.count;
+  }
+  for (const auto& [rest, jk] : groups) {
+    if (jk.second > 0) {
+      return -2.0 * std::atan2(std::sqrt(static_cast<double>(jk.second)),
+                               std::sqrt(static_cast<double>(jk.first)));
+    }
+  }
+  QSP_ASSERT(false && "merge_angle: qubit is constant, not mergeable");
+  return 0.0;
+}
+
 }  // namespace
 
 std::size_t CanonicalKeyHash::operator()(const CanonicalKey& key) const {
@@ -101,7 +136,8 @@ std::size_t CanonicalKeyHash::operator()(const CanonicalKey& key) const {
   return h;
 }
 
-SlotState compress_free(const SlotState& state) {
+SlotState compress_free(const SlotState& state,
+                        std::vector<Gate>* merge_gates) {
   SlotState cur = state;
   bool changed = true;
   while (changed) {
@@ -109,6 +145,9 @@ SlotState compress_free(const SlotState& state) {
     for (int q = 0; q < cur.num_qubits(); ++q) {
       if (cur.qubit_constant(q)) continue;
       if (!cur.qubit_separable(q)) continue;
+      if (merge_gates != nullptr) {
+        merge_gates->push_back(Gate::ry(q, merge_angle(cur, q)));
+      }
       // Zero-cost merge: clear bit q in every entry (duplicates merge in
       // the constructor).
       std::vector<SlotEntry> entries = cur.entries();
@@ -151,6 +190,51 @@ CanonicalKey canonical_key(const SlotState& state, CanonicalLevel level) {
     if (best.empty() || candidate < best) best = std::move(candidate);
   }
   return best;
+}
+
+CanonicalWitness canonical_witness(const SlotState& state,
+                                   CanonicalLevel level) {
+  CanonicalWitness w;
+  const int n = state.num_qubits();
+  std::vector<int> identity(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) identity[static_cast<std::size_t>(q)] = q;
+  if (level == CanonicalLevel::kNone) {
+    w.key.reserve(state.entries().size());
+    for (const SlotEntry& e : state.entries()) {
+      w.key.push_back(pack(e.index, e.count));
+    }
+    w.permutation = identity;
+    return w;
+  }
+  const SlotState compressed = compress_free(state, &w.merge_gates);
+  const bool exact_perm = level == CanonicalLevel::kPU2Exact && n <= 8;
+  const bool greedy_perm =
+      level == CanonicalLevel::kPU2Greedy ||
+      (level == CanonicalLevel::kPU2Exact && n > 8);
+
+  // Mirror canonical_key's candidate scan exactly (same iteration order,
+  // same strict-< first-best tie break) so the two stay bit-identical.
+  CanonicalKey best;
+  w.permutation = identity;
+  for (const SlotEntry& e : compressed.entries()) {
+    CanonicalKey t = translated_sorted(compressed.entries(), e.index);
+    CanonicalKey candidate;
+    std::vector<int> perm = identity;
+    if (exact_perm) {
+      candidate = min_over_permutations(t, n, &perm);
+    } else if (greedy_perm) {
+      candidate = greedy_perm_form(t, n, &perm);
+    } else {
+      candidate = std::move(t);
+    }
+    if (best.empty() || candidate < best) {
+      best = std::move(candidate);
+      w.translation = e.index;
+      w.permutation = std::move(perm);
+    }
+  }
+  w.key = std::move(best);
+  return w;
 }
 
 bool free_reducible(const SlotState& state, CanonicalLevel level) {

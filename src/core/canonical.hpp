@@ -34,11 +34,34 @@ struct CanonicalKeyHash {
 };
 
 /// Apply all zero-cost merges: clear every separable non-constant qubit to
-/// 0, repeating to a fixed point. Slot count is preserved.
-SlotState compress_free(const SlotState& state);
+/// 0, repeating to a fixed point. Slot count is preserved. When
+/// `merge_gates` is non-null, the Ry gates realizing each merge on the
+/// statevector are appended to it (in application order).
+SlotState compress_free(const SlotState& state,
+                        std::vector<Gate>* merge_gates = nullptr);
 
 /// Canonical key of the state's equivalence class at the given level.
 CanonicalKey canonical_key(const SlotState& state, CanonicalLevel level);
+
+/// A canonical key together with the zero-cost transformation that reaches
+/// it: applying `merge_gates` (in order), then an X on every set bit of
+/// `translation`, then relabeling qubits (bit permutation[q] of the new
+/// index is bit q of the old one) maps the state's vector exactly onto the
+/// amplitudes of the canonical form read as a slot state. The equivalence
+/// cache uses this to rewire one class representative's optimal circuit
+/// onto another member of the same class at zero extra CNOT cost.
+struct CanonicalWitness {
+  CanonicalKey key;
+  std::vector<Gate> merge_gates;
+  BasisIndex translation = 0;
+  std::vector<int> permutation;
+};
+
+/// Witness variant of canonical_key: `result.key` equals
+/// canonical_key(state, level) bit for bit (both run the same candidate
+/// scan), plus the transformation that realizes it.
+CanonicalWitness canonical_witness(const SlotState& state,
+                                   CanonicalLevel level);
 
 /// True if the state is reducible to ground by zero-cost gates alone.
 bool free_reducible(const SlotState& state, CanonicalLevel level);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/search_core.hpp"
+#include "util/timer.hpp"
 
 namespace qsp {
 
@@ -22,11 +23,18 @@ SynthesisResult ExactSynthesizer::synthesize(const QuantumState& target) const {
 }
 
 SynthesisResult ExactSynthesizer::synthesize(const SlotState& target) const {
-  const AStarSynthesizer astar(options_.astar);
+  const Deadline deadline(options_.time_budget_seconds);
+  SearchOptions astar_options = options_.astar;
+  astar_options.time_budget_seconds =
+      clamp_budget(astar_options.time_budget_seconds, deadline);
+  const AStarSynthesizer astar(astar_options);
   SynthesisResult result = astar.synthesize(target);
   if (result.found || !options_.enable_beam_fallback) return result;
 
-  const BeamSynthesizer beam(options_.beam);
+  BeamOptions beam_options = options_.beam;
+  beam_options.time_budget_seconds =
+      clamp_budget(beam_options.time_budget_seconds, deadline);
+  const BeamSynthesizer beam(beam_options);
   SynthesisResult fallback = beam.synthesize(target);
   // Keep the A* statistics visible: the fallback happened because the
   // exact search ran out of budget.

@@ -14,6 +14,13 @@ struct ExactSynthesisOptions {
   BeamOptions beam;
   /// Fall back to beam search when A* exceeds its budget.
   bool enable_beam_fallback = true;
+  /// Overall wall-clock budget for the exact tail (0 = unlimited). Wired
+  /// into every nested search's SearchBudget: A* gets at most the
+  /// remaining time, and whatever it leaves bounds the beam fallback —
+  /// so a single runaway kernel search can never blow an enclosing
+  /// workflow budget (the per-search time_budget_seconds still apply on
+  /// top when tighter).
+  double time_budget_seconds = 0.0;
 };
 
 class ExactSynthesizer {

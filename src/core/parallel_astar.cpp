@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/search_cache.hpp"
 #include "core/search_core.hpp"
 #include "util/timer.hpp"
 
@@ -320,8 +321,21 @@ SynthesisResult ParallelAStarSynthesizer::synthesize(
 
 SynthesisResult ParallelAStarSynthesizer::synthesize(
     const SlotState& target) const {
-  HdaStar search(options_, target);
-  return search.run();
+  // Direct entry point (tests/benches): probe the equivalence cache here;
+  // the AStarSynthesizer dispatch path clears `cache` first so one search
+  // never probes twice. As there, in-flight wait time counts against the
+  // search budget.
+  const Deadline overall(options_.time_budget_seconds);
+  ScopedCacheProbe probe(options_.cache.get(), target,
+                         options_.coupling.get(), options_.max_controls,
+                         options_.time_budget_seconds);
+  if (probe.hit()) return probe.result();
+  SearchOptions adjusted = options_;
+  adjusted.time_budget_seconds = clamp_budget(0.0, overall);
+  HdaStar search(adjusted, target);
+  const SynthesisResult result = search.run();
+  probe.publish(result);
+  return result;
 }
 
 }  // namespace qsp

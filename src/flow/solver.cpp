@@ -35,6 +35,11 @@ Solver::Solver(WorkflowOptions options) : options_(std::move(options)) {
 
 Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
                                        bool* used_exact) const {
+  return exact_tail(reduced, used_exact, Deadline(0.0));
+}
+
+Circuit Solver::exact_tail(const QuantumState& reduced, bool* used_exact,
+                           const Deadline& deadline) const {
   if (used_exact != nullptr) *used_exact = false;
   const QuantumState target = normalize_global_sign(reduced);
   const CouplingGraph* device = options_.coupling.get();
@@ -110,6 +115,18 @@ Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
       exact_options.astar.coupling = tail_coupling;
       exact_options.beam.coupling = tail_coupling;
     }
+    // Shared-cache mode: every kernel search consults/populates the
+    // cross-request equivalence cache. A cache configured directly on
+    // the nested search options is left alone.
+    if (options_.cache != nullptr) {
+      exact_options.astar.cache = options_.cache;
+      exact_options.beam.cache = options_.cache;
+    }
+    // The workflow deadline bounds the searches themselves, not just the
+    // stage boundaries: a runaway kernel aborts mid-search and the
+    // reduction fallback below still returns a circuit.
+    exact_options.time_budget_seconds =
+        clamp_budget(exact_options.time_budget_seconds, deadline);
     const ExactSynthesizer exact(exact_options);
     const SynthesisResult res = exact.synthesize(narrow);
     if (!res.found) {
@@ -176,18 +193,19 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
 
   if (fits_thresholds(target)) {
     result.circuit = routed_onto_device(
-        prepare_via_exact_tail(target, &result.used_exact_tail));
+        exact_tail(target, &result.used_exact_tail, deadline));
     result.found = true;
     return result;
   }
 
   auto sparse_prepare = [&](bool* used_exact) -> std::optional<Circuit> {
     MFlowOptions mflow = options_.mflow;
-    mflow.time_budget_seconds = options_.time_budget_seconds;
+    mflow.time_budget_seconds =
+        clamp_budget(mflow.time_budget_seconds, deadline);
     const MFlowReduction reduction =
         mflow_reduce(target, fits_thresholds, mflow);
     if (reduction.timed_out) return std::nullopt;
-    Circuit circuit = prepare_via_exact_tail(reduction.reduced, used_exact);
+    Circuit circuit = exact_tail(reduction.reduced, used_exact, deadline);
     Circuit forward(n);
     for (const Gate& g : reduction.forward_gates) forward.append(g);
     circuit.append(forward.adjoint());
@@ -231,10 +249,10 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   if (marginal_slots.has_value() &&
       marginal_slots->total() <= options_.dense_tail_total_cap) {
     bool exact_used = false;
-    Circuit exact_tail = prepare_via_exact_tail(marginal, &exact_used);
-    if (exact_used && selection_cost(exact_tail, elide) <
+    Circuit exact_marginal = exact_tail(marginal, &exact_used, deadline);
+    if (exact_used && selection_cost(exact_marginal, elide) <
                           selection_cost(tail, elide)) {
-      tail = std::move(exact_tail);
+      tail = std::move(exact_marginal);
       used_exact = true;
     }
   }

@@ -11,6 +11,7 @@
 #include "core/exact_synthesizer.hpp"
 #include "prep/mflow.hpp"
 #include "state/quantum_state.hpp"
+#include "util/timer.hpp"
 
 namespace qsp {
 
@@ -33,6 +34,10 @@ struct WorkflowOptions {
   /// the sparse path as well and keep the cheaper circuit.
   int dual_path_max_cardinality = 64;
   /// Abort the whole workflow after this many seconds (0 = unlimited).
+  /// Enforced *inside* the exact-tail searches, not just between stages:
+  /// the remaining time is wired into every kernel search's SearchBudget
+  /// (via ExactSynthesisOptions::time_budget_seconds), so a runaway A*
+  /// aborts mid-search and the circuit-producing fallbacks still run.
   double time_budget_seconds = 0.0;
   /// Worker threads for the exact tail's A* kernel. 1 keeps the serial
   /// kernel; any other value (0 = all hardware threads) overrides
@@ -56,6 +61,14 @@ struct WorkflowOptions {
   /// and uses the cardinality-reduction fallback instead of launching a
   /// search the thresholds never meant to allow.
   int exact_max_host_qubits = 8;
+  /// Shared-cache mode: an equivalence cache consulted and populated by
+  /// every exact-tail search this solver runs (see
+  /// service/equivalence_cache.hpp; SynthesisService injects its cache
+  /// here). Repeated requests whose compressed cores land in the same
+  /// canonical class pay for one kernel search; concurrent requests for
+  /// the same class are deduplicated in flight. nullptr = one-shot
+  /// behavior, unchanged.
+  std::shared_ptr<SearchCache> cache;
 
   WorkflowOptions() {
     mflow.strategy = MFlowOptions::PairStrategy::kCheapest;
@@ -110,6 +123,13 @@ class Solver {
   const WorkflowOptions& options() const { return options_; }
 
  private:
+  /// Deadline-aware body of prepare_via_exact_tail: the enclosing
+  /// workflow deadline's remaining time bounds every kernel search run
+  /// here; the search-free cardinality-reduction fallback is never
+  /// budgeted, so a circuit is always produced.
+  Circuit exact_tail(const QuantumState& reduced, bool* used_exact,
+                     const Deadline& deadline) const;
+
   WorkflowOptions options_;
 };
 

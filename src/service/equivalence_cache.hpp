@@ -1,0 +1,128 @@
+#pragma once
+// Sharded, mutex-striped cross-request equivalence cache: the concrete
+// SearchCache behind the synthesis service. One entry per (canonical
+// class, register width, coupling fingerprint, cost-model id, control
+// budget): the class representative that was searched, the witness of its
+// canonical form, and the certified-optimal circuit template.
+//
+// Hit paths:
+//   exact hit    — the target *is* the stored representative: the stored
+//                  template is returned verbatim (bit-identical to the
+//                  cold-path result that populated it).
+//   rewired hit  — the target is a different member of the same class:
+//                  the template is rewired through the canonical form at
+//                  zero extra CNOT cost (free merges, X layers and — only
+//                  where relabeling is free — a wire relabeling), so the
+//                  optimality certificate transfers.
+//
+// Only certified-optimal results are stored; see search_cache.hpp for why
+// that makes hits sound across differing search options. Eviction is LRU
+// per shard under capacity and byte bounds. In-flight deduplication: the
+// first thread to miss a class becomes its owner, later threads block on
+// a per-class condition variable until the owner publishes, then hit.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/search_cache.hpp"
+
+namespace qsp {
+
+struct EquivalenceCacheOptions {
+  /// Mutex stripes; keys are distributed by hash.
+  std::size_t num_shards = 16;
+  /// Entry bound across all shards (0 = unlimited); enforced per shard as
+  /// max_entries / num_shards (at least 1).
+  std::size_t max_entries = 1u << 16;
+  /// Approximate byte bound across all shards (0 = unlimited).
+  std::size_t max_bytes = std::size_t{256} << 20;
+  /// Serve same-class different-representative lookups by witness
+  /// rewiring. Off, such lookups count as misses (exact hits still
+  /// served).
+  bool rewire_class_hits = true;
+};
+
+struct EquivalenceCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;          ///< exact_hits + rewired_hits
+  std::uint64_t exact_hits = 0;
+  std::uint64_t rewired_hits = 0;
+  std::uint64_t misses = 0;        ///< lookups - hits
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Times a lookup blocked on another thread's in-flight search.
+  std::uint64_t inflight_waits = 0;
+  std::uint64_t entries = 0;       ///< current population
+  std::uint64_t bytes = 0;         ///< current approximate footprint
+};
+
+class EquivalenceCache final : public SearchCache {
+ public:
+  explicit EquivalenceCache(EquivalenceCacheOptions options = {});
+
+  Lookup begin(const SlotState& target, const CanonicalWitness& witness,
+               const CacheFingerprint& fp, double max_wait_seconds,
+               bool consult_only) override;
+  void end(const SlotState& target, const CanonicalWitness& witness,
+           const CacheFingerprint& fp,
+           const SynthesisResult* result) override;
+
+  EquivalenceCacheStats stats() const;
+  const EquivalenceCacheOptions& options() const { return options_; }
+
+ private:
+  /// Template and witness are immutable and shared: a hit copies two
+  /// shared_ptrs under the shard lock and builds its circuit outside it
+  /// (an eviction racing a hit just keeps the template alive until the
+  /// last reader drops it).
+  struct Entry {
+    SlotState representative = SlotState::ground(1, 1);
+    std::shared_ptr<const CanonicalWitness> witness;
+    std::shared_ptr<const Circuit> circuit;
+    std::int64_t cnot_cost = 0;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru;
+  };
+
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct Shard {
+    std::mutex m;
+    std::unordered_map<std::string, Entry> map;
+    /// Front = most recently used key.
+    std::list<std::string> lru;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+  void evict_over_caps(Shard& shard);
+
+  EquivalenceCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_entry_cap_ = 0;  ///< 0 = unlimited
+  std::size_t shard_byte_cap_ = 0;   ///< 0 = unlimited
+
+  mutable std::atomic<std::uint64_t> lookups_{0};
+  mutable std::atomic<std::uint64_t> exact_hits_{0};
+  mutable std::atomic<std::uint64_t> rewired_hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> insertions_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> inflight_waits_{0};
+  mutable std::atomic<std::uint64_t> entries_{0};
+  mutable std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace qsp

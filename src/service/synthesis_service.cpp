@@ -1,0 +1,96 @@
+#include "service/synthesis_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace qsp {
+
+SynthesisService::SynthesisService(SynthesisServiceOptions options)
+    : options_(options),
+      cache_(std::make_shared<EquivalenceCache>(options.cache)) {
+  int workers = options_.num_workers;
+  if (workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SynthesisService::~SynthesisService() {
+  std::deque<Job> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    orphans.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  for (Job& job : orphans) {
+    job.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("SynthesisService: shut down before request ran")));
+  }
+}
+
+std::future<ServiceResponse> SynthesisService::submit(ServiceRequest request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<ServiceResponse> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("SynthesisService: submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<ServiceResponse> SynthesisService::run_batch(
+    std::vector<ServiceRequest> batch) {
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(batch.size());
+  for (ServiceRequest& request : batch) {
+    futures.push_back(submit(std::move(request)));
+  }
+  std::vector<ServiceResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  return responses;
+}
+
+void SynthesisService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      WorkflowOptions options = job.request.options;
+      if (options_.share_cache && options.cache == nullptr) {
+        options.cache = cache_;
+      }
+      const Timer timer;
+      const Solver solver(options);
+      ServiceResponse response;
+      response.result = solver.prepare(job.request.state);
+      response.seconds = timer.seconds();
+      served_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(std::move(response));
+    } catch (...) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace qsp

@@ -1,12 +1,39 @@
 #include "sim/verifier.hpp"
 
 #include <cmath>
+#include <complex>
 #include <sstream>
 #include <stdexcept>
 
+#include "phase/complex_statevector.hpp"
 #include "sim/statevector.hpp"
 
 namespace qsp {
+namespace {
+
+bool has_z_axis_gates(const Circuit& circuit) {
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind() == GateKind::kRz || g.kind() == GateKind::kUCRz) {
+      return true;
+    }
+  }
+  return false;
+}
+
+VerificationResult from_fidelity(double fidelity, double tolerance) {
+  VerificationResult result;
+  result.fidelity = fidelity;
+  result.ok = fidelity >= 1.0 - tolerance;
+  if (!result.ok) {
+    std::ostringstream os;
+    os.precision(12);
+    os << "fidelity " << fidelity << " below 1 - " << tolerance;
+    result.message = os.str();
+  }
+  return result;
+}
+
+}  // namespace
 
 VerificationResult verify_preparation(const Circuit& circuit,
                                       const QuantumState& target,
@@ -16,28 +43,56 @@ VerificationResult verify_preparation(const Circuit& circuit,
     result.message = "circuit register narrower than target";
     return result;
   }
+  if (has_z_axis_gates(circuit)) {
+    // The real simulator rejects Rz/UCRz; phase-oracle outputs verify on
+    // the complex path (which also needs the conjugated inner product).
+    return verify_preparation(circuit, ComplexState(target), tolerance);
+  }
   Statevector sv(circuit.num_qubits());
   sv.apply(circuit);
 
   // Inner product against target embedded with ancillas in |0>: the
   // embedded target has the same basis indices (ancillas are high bits).
+  // Real amplitudes are self-conjugate, so the plain product is the
+  // complex inner product here.
   double ip = 0.0;
   for (const Term& t : target.terms()) {
     ip += sv.amplitudes()[t.index] * t.amplitude;
   }
-  result.fidelity = ip * ip;
-  result.ok = result.fidelity >= 1.0 - tolerance;
-  if (!result.ok) {
-    std::ostringstream os;
-    os.precision(12);
-    os << "fidelity " << result.fidelity << " below 1 - " << tolerance;
-    result.message = os.str();
+  return from_fidelity(ip * ip, tolerance);
+}
+
+VerificationResult verify_preparation(const Circuit& circuit,
+                                      const ComplexState& target,
+                                      double tolerance) {
+  VerificationResult result;
+  if (circuit.num_qubits() < target.num_qubits()) {
+    result.message = "circuit register narrower than target";
+    return result;
   }
-  return result;
+  ComplexStatevector sv(circuit.num_qubits());
+  sv.apply(circuit);
+
+  // Conjugate complex inner product <target|prepared>; |ip|^2 is
+  // insensitive to global phase but penalizes any relative-phase error.
+  std::complex<double> ip{0.0, 0.0};
+  for (const ComplexTerm& t : target.terms()) {
+    ip += std::conj(t.amplitude) * sv.amplitudes()[t.index];
+  }
+  return from_fidelity(std::norm(ip), tolerance);
 }
 
 void verify_preparation_or_throw(const Circuit& circuit,
                                  const QuantumState& target,
+                                 double tolerance) {
+  const VerificationResult r = verify_preparation(circuit, target, tolerance);
+  if (!r.ok) {
+    throw std::runtime_error("verification failed: " + r.message);
+  }
+}
+
+void verify_preparation_or_throw(const Circuit& circuit,
+                                 const ComplexState& target,
                                  double tolerance) {
   const VerificationResult r = verify_preparation(circuit, target, tolerance);
   if (!r.ok) {

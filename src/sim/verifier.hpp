@@ -1,11 +1,15 @@
 #pragma once
 // Preparation verifier: checks that a circuit maps |0...0> to the target
-// state (up to global sign). Circuits may carry ancilla qubits above the
-// target register; those must return to |0>.
+// state (up to global phase). Circuits may carry ancilla qubits above the
+// target register; those must return to |0>. Circuits containing z-axis
+// rotations (phase-oracle outputs) are simulated on the complex
+// statevector and compared with the conjugate complex inner product — the
+// real path's plain product would mis-score phased amplitudes.
 
 #include <string>
 
 #include "circuit/circuit.hpp"
+#include "phase/complex_state.hpp"
 #include "state/quantum_state.hpp"
 
 namespace qsp {
@@ -18,14 +22,27 @@ struct VerificationResult {
 
 /// Simulate `circuit` from the ground state and compare against `target`.
 /// If the circuit register is wider than the target, the extra (ancilla)
-/// qubits are required to end in |0>. Global sign is ignored.
+/// qubits are required to end in |0>. Global phase is ignored. Circuits
+/// with Rz/UCRz gates route through the complex statevector
+/// automatically; real-only circuits keep the cheaper real simulator.
 VerificationResult verify_preparation(const Circuit& circuit,
                                       const QuantumState& target,
                                       double tolerance = 1e-7);
 
-/// Throwing wrapper for tests and examples.
+/// Complex-target variant: fidelity is |<target|prepared>|^2 with the
+/// conjugate inner product, so phased targets score correctly (the
+/// non-conjugated product wrongly rejects a correct preparation of
+/// (|00> + i|11>)/sqrt(2) and wrongly accepts its phase conjugate).
+VerificationResult verify_preparation(const Circuit& circuit,
+                                      const ComplexState& target,
+                                      double tolerance = 1e-7);
+
+/// Throwing wrappers for tests and examples.
 void verify_preparation_or_throw(const Circuit& circuit,
                                  const QuantumState& target,
+                                 double tolerance = 1e-7);
+void verify_preparation_or_throw(const Circuit& circuit,
+                                 const ComplexState& target,
                                  double tolerance = 1e-7);
 
 }  // namespace qsp

@@ -1,6 +1,7 @@
 #pragma once
 // Wall-clock timing for the CPU-time analysis (Fig. 7) and search budgets.
 
+#include <algorithm>
 #include <chrono>
 
 namespace qsp {
@@ -39,5 +40,22 @@ class Deadline {
   Timer timer_;
   double budget_;
 };
+
+/// Merge a stage's own wall-clock budget with an enclosing deadline: the
+/// stage may use at most the deadline's remaining time. This is how outer
+/// budgets (e.g. WorkflowOptions::time_budget_seconds) get wired into the
+/// SearchBudget of every nested kernel search instead of being checked
+/// only between stages. An unlimited enclosing deadline (budget <= 0)
+/// leaves the stage budget alone; an expired one yields a vanishing
+/// positive budget — never 0, which would mean unlimited to the stage.
+inline double clamp_budget(double stage_budget_seconds,
+                           const Deadline& deadline) {
+  if (deadline.budget() <= 0.0) return stage_budget_seconds;
+  const double remaining =
+      std::max(deadline.budget() - deadline.elapsed(), 1e-9);
+  return stage_budget_seconds <= 0.0
+             ? remaining
+             : std::min(stage_budget_seconds, remaining);
+}
 
 }  // namespace qsp

@@ -1,0 +1,196 @@
+#include "service/synthesis_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "arch/routing.hpp"
+#include "sim/verifier.hpp"
+#include "state/state_factory.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace qsp {
+namespace {
+
+ServiceRequest request_for(QuantumState state, WorkflowOptions options = {}) {
+  ServiceRequest request;
+  request.state = std::move(state);
+  request.options = std::move(options);
+  return request;
+}
+
+std::vector<QuantumState> family_batch() {
+  return {make_ghz(4), make_w(4), make_dicke(4, 2)};
+}
+
+TEST(SynthesisService, ColdBatchPreparesAndVerifies) {
+  SynthesisServiceOptions options;
+  options.num_workers = 2;
+  SynthesisService service(options);
+  std::vector<ServiceRequest> batch;
+  for (const QuantumState& state : family_batch()) {
+    batch.push_back(request_for(state));
+  }
+  const std::vector<ServiceResponse> responses =
+      service.run_batch(std::move(batch));
+  const std::vector<QuantumState> targets = family_batch();
+  ASSERT_EQ(responses.size(), targets.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].result.found);
+    verify_preparation_or_throw(responses[i].result.circuit, targets[i]);
+  }
+  EXPECT_EQ(service.requests_served(), targets.size());
+}
+
+TEST(SynthesisService, WarmBatchIsBitIdenticalToCold) {
+  SynthesisServiceOptions options;
+  options.num_workers = 2;
+  SynthesisService service(options);
+  auto make_batch = [] {
+    std::vector<ServiceRequest> batch;
+    for (const QuantumState& state : family_batch()) {
+      batch.push_back(request_for(state));
+    }
+    return batch;
+  };
+  const std::vector<ServiceResponse> cold = service.run_batch(make_batch());
+  const EquivalenceCacheStats cold_stats = service.cache_stats();
+  EXPECT_GE(cold_stats.insertions, 1u);
+
+  const std::vector<ServiceResponse> warm = service.run_batch(make_batch());
+  const EquivalenceCacheStats warm_stats = service.cache_stats();
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    ASSERT_TRUE(warm[i].result.found);
+    // The whole workflow circuit, not just the tail: bit-identical.
+    EXPECT_EQ(warm[i].result.circuit, cold[i].result.circuit) << i;
+  }
+  EXPECT_GT(warm_stats.hits, cold_stats.hits);
+}
+
+TEST(SynthesisService, SameClassVariantsShareOneSearch) {
+  // "Per-user variants": a permuted copy of a cached state lands in the
+  // same canonical class and is served by witness rewiring.
+  Rng rng(53);
+  QuantumState base(1);
+  std::vector<int> perm{2, 0, 3, 1};
+  QuantumState permuted(1);
+  for (;;) {
+    base = make_random_uniform(4, 5, rng);
+    std::vector<Term> terms;
+    for (const Term& t : base.terms()) {
+      terms.push_back(Term{permute_bits(t.index, perm), t.amplitude});
+    }
+    permuted = QuantumState(4, std::move(terms));
+    if (!(permuted == base)) break;  // need a genuine variant
+  }
+
+  SynthesisServiceOptions options;
+  options.num_workers = 1;
+  SynthesisService service(options);
+  const ServiceResponse cold = service.submit(request_for(base)).get();
+  ASSERT_TRUE(cold.result.found);
+  const ServiceResponse warm = service.submit(request_for(permuted)).get();
+  ASSERT_TRUE(warm.result.found);
+  EXPECT_GE(service.cache_stats().rewired_hits, 1u);
+  verify_preparation_or_throw(warm.result.circuit, permuted);
+}
+
+TEST(SynthesisService, CacheHitKeepsDeviceSizedRegisterAndConformance) {
+  // Satellite regression mirroring PR 3's device-sized-register fix: a
+  // cached tail template synthesized on a host patch must come back
+  // remapped and routed so the response conforms to the requesting
+  // device — same register width and respects_coupling as the cold path.
+  const auto device =
+      std::make_shared<const CouplingGraph>(CouplingGraph::line(5));
+  WorkflowOptions workflow;
+  workflow.coupling = device;
+  SynthesisServiceOptions options;
+  options.num_workers = 1;
+  SynthesisService service(options);
+  const QuantumState target = make_ghz(4);
+
+  const ServiceResponse cold =
+      service.submit(request_for(target, workflow)).get();
+  ASSERT_TRUE(cold.result.found);
+  ASSERT_EQ(cold.result.circuit.num_qubits(), device->num_qubits());
+  ASSERT_TRUE(respects_coupling(cold.result.circuit, *device));
+  verify_preparation_or_throw(cold.result.circuit, target);
+
+  const ServiceResponse warm =
+      service.submit(request_for(target, workflow)).get();
+  ASSERT_TRUE(warm.result.found);
+  EXPECT_GE(service.cache_stats().hits, 1u);
+  EXPECT_EQ(warm.result.circuit.num_qubits(), device->num_qubits());
+  EXPECT_TRUE(respects_coupling(warm.result.circuit, *device));
+  EXPECT_EQ(warm.result.circuit, cold.result.circuit);
+  verify_preparation_or_throw(warm.result.circuit, target);
+}
+
+TEST(SynthesisService, ConcurrentIdenticalRequestsDeduplicateInFlight) {
+  SynthesisServiceOptions options;
+  options.num_workers = 4;
+  SynthesisService service(options);
+  WorkflowOptions workflow;
+  // Plenty of head room so waiting threads never time out and fall back
+  // to private searches on a loaded machine.
+  workflow.exact.astar.time_budget_seconds = 60.0;
+  const QuantumState target = make_dicke(4, 2);
+  constexpr int kRequests = 6;
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.submit(request_for(target, workflow)));
+  }
+  std::vector<ServiceResponse> responses;
+  for (auto& future : futures) responses.push_back(future.get());
+  for (const ServiceResponse& response : responses) {
+    ASSERT_TRUE(response.result.found);
+    EXPECT_EQ(response.result.circuit, responses.front().result.circuit);
+    verify_preparation_or_throw(response.result.circuit, target);
+  }
+  const EquivalenceCacheStats stats = service.cache_stats();
+  // One kernel search total: the first request owns the class, every
+  // concurrent duplicate waits on the in-flight marker and then hits.
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kRequests) - 1);
+}
+
+TEST(SynthesisService, RequestExceptionsPropagateThroughFutures) {
+  SynthesisServiceOptions options;
+  options.num_workers = 1;
+  SynthesisService service(options);
+  WorkflowOptions workflow;
+  // Disconnected device: the Solver constructor rejects it.
+  workflow.coupling = std::make_shared<const CouplingGraph>(
+      CouplingGraph(4, {{0, 1}}));
+  auto future = service.submit(request_for(make_ghz(4), workflow));
+  EXPECT_THROW(future.get(), std::invalid_argument);
+  // The service stays healthy afterwards.
+  const ServiceResponse ok = service.submit(request_for(make_ghz(3))).get();
+  EXPECT_TRUE(ok.result.found);
+}
+
+TEST(SynthesisService, PerRequestCacheOverrideWins) {
+  // A request carrying its own cache must not touch the service cache.
+  SynthesisServiceOptions options;
+  options.num_workers = 1;
+  SynthesisService service(options);
+  WorkflowOptions workflow;
+  workflow.cache = std::make_shared<EquivalenceCache>();
+  const ServiceResponse r =
+      service.submit(request_for(make_dicke(4, 2), workflow)).get();
+  ASSERT_TRUE(r.result.found);
+  EXPECT_EQ(service.cache_stats().lookups, 0u);
+  EXPECT_GE(
+      std::static_pointer_cast<EquivalenceCache>(workflow.cache)->stats()
+          .lookups,
+      1u);
+}
+
+}  // namespace
+}  // namespace qsp

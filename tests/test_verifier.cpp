@@ -63,5 +63,75 @@ TEST(Verifier, NarrowCircuitRejected) {
   EXPECT_NE(r.message.find("narrower"), std::string::npos);
 }
 
+// Regression: the real-path inner product (sum of plain products) is only
+// the complex inner product for real amplitudes. A phased target needs
+// the conjugated product on the complex statevector: without it, the
+// correct preparation of (|00> + i|11>)/sqrt(2) scores fidelity 1/2
+// (wrongly rejected) and the phase-conjugate circuit scores 1 (wrongly
+// accepted).
+TEST(Verifier, PhasedTargetCorrectCircuitAccepted) {
+  // Ry + CNOT prepare GHZ_2; Rz(1, pi/2) imprints |00> -> e^{-i pi/4},
+  // |11> -> e^{+i pi/4}, i.e. (|00> + i|11>)/sqrt(2) up to global phase.
+  Circuit c(2);
+  c.append(Gate::ry(0, M_PI / 2));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, M_PI / 2));
+  const ComplexState target(
+      2, {ComplexTerm{0, {1.0 / std::sqrt(2.0), 0.0}},
+          ComplexTerm{3, {0.0, 1.0 / std::sqrt(2.0)}}});
+  const auto r = verify_preparation(c, target);
+  EXPECT_TRUE(r.ok);
+  EXPECT_NEAR(r.fidelity, 1.0, 1e-9);
+  EXPECT_NO_THROW(verify_preparation_or_throw(c, target));
+}
+
+TEST(Verifier, PhaseConjugateCircuitRejected) {
+  // Same magnitudes, conjugated phases: (|00> - i|11>)/sqrt(2). The
+  // non-conjugated product would report fidelity 1 here.
+  Circuit c(2);
+  c.append(Gate::ry(0, M_PI / 2));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, -M_PI / 2));
+  const ComplexState target(
+      2, {ComplexTerm{0, {1.0 / std::sqrt(2.0), 0.0}},
+          ComplexTerm{3, {0.0, 1.0 / std::sqrt(2.0)}}});
+  const auto r = verify_preparation(c, target);
+  EXPECT_FALSE(r.ok);
+  EXPECT_LT(r.fidelity, 0.1);
+  EXPECT_THROW(verify_preparation_or_throw(c, target), std::runtime_error);
+}
+
+TEST(Verifier, RealTargetRoutesZCircuitsThroughComplexPath) {
+  // A circuit with z-axis gates used to throw from the real simulator.
+  // Canceling Rz pair: still prepares GHZ_2 -> accepted.
+  Circuit good(2);
+  good.append(Gate::ry(0, M_PI / 2));
+  good.append(Gate::cnot(0, 1));
+  good.append(Gate::rz(0, 0.7));
+  good.append(Gate::rz(0, -0.7));
+  EXPECT_TRUE(verify_preparation(good, make_ghz(2)).ok);
+
+  // Uncanceled Rz leaves a relative phase: fidelity cos^2(pi/4) = 1/2.
+  Circuit bad(2);
+  bad.append(Gate::ry(0, M_PI / 2));
+  bad.append(Gate::cnot(0, 1));
+  bad.append(Gate::rz(0, M_PI / 2));
+  const auto r = verify_preparation(bad, make_ghz(2));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NEAR(r.fidelity, 0.5, 1e-9);
+}
+
+TEST(Verifier, ComplexTargetAncillaMustReturnToZero) {
+  Circuit bad(3);
+  bad.append(Gate::ry(0, M_PI / 2));
+  bad.append(Gate::cnot(0, 1));
+  bad.append(Gate::rz(1, M_PI / 2));
+  bad.append(Gate::x(2));
+  const ComplexState target(
+      2, {ComplexTerm{0, {1.0 / std::sqrt(2.0), 0.0}},
+          ComplexTerm{3, {0.0, 1.0 / std::sqrt(2.0)}}});
+  EXPECT_FALSE(verify_preparation(bad, target).ok);
+}
+
 }  // namespace
 }  // namespace qsp

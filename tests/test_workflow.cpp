@@ -8,9 +8,11 @@
 #include "arch/routing.hpp"
 #include "circuit/lowering.hpp"
 #include "flow/methods.hpp"
+#include "service/equivalence_cache.hpp"
 #include "sim/verifier.hpp"
 #include "state/state_factory.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace qsp {
 namespace {
@@ -274,6 +276,54 @@ TEST(Workflow, TimedOutReported) {
   const WorkflowResult res = solver.prepare(target);
   // Sparse path (14*128 < 2^14): the reduction must hit the deadline.
   EXPECT_TRUE(res.timed_out || res.found);
+}
+
+TEST(Workflow, TimeBudgetAbortsRunawayKernelSearch) {
+  // Regression: time_budget_seconds used to be checked only *between*
+  // workflow stages, so an exact-tail search with unlimited per-search
+  // budgets would blow the whole budget (minutes on this instance). The
+  // deadline must now be wired into the kernels' SearchBudget: the search
+  // aborts mid-flight and the search-free reduction fallback still
+  // returns a verified circuit.
+  Rng rng(408);
+  const QuantumState target = make_random_uniform(5, 16, rng);
+  WorkflowOptions options;
+  options.exact_max_qubits = 5;          // fits-thresholds direct path
+  options.exact.astar.time_budget_seconds = 0.0;  // "runaway": unlimited
+  options.exact.astar.node_budget = 0;
+  options.exact.beam.time_budget_seconds = 0.0;
+  options.time_budget_seconds = 0.05;
+  const Solver solver(options);
+  const Timer timer;
+  const WorkflowResult res = solver.prepare(target);
+  // Generous bound: the budget is 50ms, the fallback is search-free; the
+  // margin absorbs sanitizer slowdowns. Without in-search enforcement
+  // this instance searches for minutes.
+  EXPECT_LT(timer.seconds(), 10.0);
+  ASSERT_TRUE(res.found);
+  EXPECT_FALSE(res.used_exact_tail);  // aborted mid-search, fell back
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+TEST(Workflow, SharedCacheModeServesRepeatsBitIdentically) {
+  // Solver::cache: the second prepare() of the same target must serve the
+  // exact tail from the equivalence cache and produce the identical
+  // circuit.
+  auto cache = std::make_shared<EquivalenceCache>();
+  WorkflowOptions options;
+  options.cache = cache;
+  const Solver solver(options);
+  const QuantumState target = make_dicke(4, 2);
+  const WorkflowResult cold = solver.prepare(target);
+  ASSERT_TRUE(cold.found);
+  const auto cold_stats = cache->stats();
+  EXPECT_GE(cold_stats.insertions, 1u);
+  const WorkflowResult warm = solver.prepare(target);
+  ASSERT_TRUE(warm.found);
+  const auto warm_stats = cache->stats();
+  EXPECT_GE(warm_stats.exact_hits, cold_stats.exact_hits + 1);
+  EXPECT_EQ(cold.circuit, warm.circuit);
+  verify_preparation_or_throw(warm.circuit, target);
 }
 
 }  // namespace
