@@ -2,7 +2,7 @@
 // canonical keys, move enumeration, arc application, heuristics, the A*
 // kernel (serial and sharded HDA*) on the paper's headline instance, and
 // statevector simulation. The A* benchmarks attach the queue-pressure
-// stats (peak_open, stale_pops) as counters, and after the benchmark run
+// stats (sum_shard_peak_open, stale_pops) as counters, and after the benchmark run
 // one json_row per kernel instance records the canonical schema.
 
 #include <benchmark/benchmark.h>
@@ -86,8 +86,8 @@ BENCHMARK(BM_HeuristicComponent)->Arg(6)->Arg(10)->Arg(14);
 /// open-list discipline show up next to the timing.
 void attach_search_counters(benchmark::State& state,
                             const SynthesisResult& res) {
-  state.counters["peak_open"] =
-      static_cast<double>(res.stats.peak_open_size);
+  state.counters["sum_shard_peak_open"] =
+      static_cast<double>(res.stats.sum_shard_peak_open_size);
   state.counters["stale_pops"] = static_cast<double>(res.stats.stale_pops);
   state.counters["classes"] = static_cast<double>(res.stats.classes_stored);
 }
@@ -181,7 +181,7 @@ void emit_kernel_json() {
                             {"optimal", res.optimal},
                             {"seconds", res.stats.seconds},
                             {"threads", threads},
-                            {"peak_open_size", res.stats.peak_open_size},
+                            {"sum_shard_peak_open_size", res.stats.sum_shard_peak_open_size},
                             {"stale_pops", res.stats.stale_pops}});
     }
   }

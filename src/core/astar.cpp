@@ -101,8 +101,13 @@ SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
   }
 
   result.stats.classes_stored = arena.size();
-  result.stats.peak_open_size = open.peak_size();
+  result.stats.sum_shard_peak_open_size = open.peak_size();
   result.stats.seconds = timer.seconds();
+  // Exiting without a completed goal pop is either an exhausted search
+  // space (open ran dry — not a budget issue) or a budget abort.
+  result.stats.budget_exhausted =
+      !result.stats.completed &&
+      budget.exhausted(result.stats.nodes_generated);
   if (goal_id >= 0) {
     result.found = true;
     result.optimal = arcs_exhaustive;

@@ -63,10 +63,12 @@ struct SearchStats {
   std::uint64_t nodes_expanded = 0;
   std::uint64_t nodes_generated = 0;
   std::uint64_t classes_stored = 0;
-  /// Largest open-list population seen (summed over shards when the
-  /// sharded kernel runs) — the queue-pressure signal tracked by
-  /// micro_core and fig7_runtime.
-  std::uint64_t peak_open_size = 0;
+  /// Queue-pressure signal tracked by micro_core and fig7_runtime: the
+  /// sum over shards of each shard's own peak open-list population. For
+  /// the serial kernels (one shard) this is the true peak; for the
+  /// sharded kernels it is an upper bound on the instantaneous global
+  /// peak, since shard peaks need not coincide in time.
+  std::uint64_t sum_shard_peak_open_size = 0;
   /// Lazy-deletion discards: popped entries whose pushed g was already
   /// beaten by a rebind (summed over shards in the parallel kernel).
   std::uint64_t stale_pops = 0;
@@ -75,6 +77,12 @@ struct SearchStats {
   /// sharded kernel: certified against every shard's frontier) within
   /// budget.
   bool completed = false;
+  /// True if the search stopped early because its node or wall-clock
+  /// budget ran out (A*/HDA*: aborted before certifying; beam: a level
+  /// was truncated or skipped on deadline expiry). Distinguishes a
+  /// budget-truncated result — which might improve with more budget —
+  /// from a genuinely finished descent or an exhausted search space.
+  bool budget_exhausted = false;
 };
 
 struct SynthesisResult {

@@ -1,9 +1,12 @@
 #include "core/beam.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
-#include <tuple>
+#include <utility>
 
+#include "core/beam_core.hpp"
+#include "core/parallel_beam.hpp"
 #include "core/search_cache.hpp"
 #include "core/search_core.hpp"
 #include "util/timer.hpp"
@@ -34,6 +37,12 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
                          options_.time_budget_seconds,
                          /*consult_only=*/true);
   if (probe.hit()) return probe.result();
+
+  if (options_.num_threads != 1) {
+    BeamOptions parallel_options = options_;
+    parallel_options.cache = nullptr;  // this probe already consulted
+    return ParallelBeamSynthesizer(parallel_options).synthesize(target);
+  }
 
   const Timer timer;
   const Deadline deadline(options_.time_budget_seconds);
@@ -68,20 +77,38 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
   // g) often ranks behind unfinished ones and would be truncated away if
   // goals were only recognized within the surviving beam.
   std::int64_t goal_id = -1;
-  std::int64_t goal_g = 0;
+  std::int64_t goal_g = kInfiniteCost;
 
-  if (free_reducible(target, level)) goal_id = 0;
+  if (free_reducible(target, level)) {
+    goal_id = 0;
+    goal_g = 0;
+  }
 
+  ClassIndex<BeamPending> level_map;
   for (int depth = 0;
        goal_id != 0 && depth < options_.max_levels && !beam.empty();
        ++depth) {
-    if (deadline.expired()) break;
-    std::vector<std::int64_t> candidates;
-    for (const std::int64_t id : beam) {
-      if (deadline.expired()) break;  // wide levels must not overshoot
+    if (deadline.expired()) {
+      result.stats.budget_exhausted = true;
+      break;
+    }
+    // The incumbent bound is frozen at level entry so pruning cannot
+    // depend on the order goals are discovered within the level — the
+    // property that lets the parallel beam (core/parallel_beam.cpp)
+    // partition this loop across shards and still match bit for bit.
+    const std::int64_t frozen_goal_g = goal_g;
+    level_map.clear();
+    for (std::size_t pos = 0; pos < beam.size(); ++pos) {
+      if (deadline.expired()) {  // wide levels must not overshoot
+        result.stats.budget_exhausted = true;
+        break;
+      }
+      const std::int64_t id = beam[pos];
       const SlotState state = nodes[static_cast<std::size_t>(id)].state;
       const std::int64_t g = nodes[static_cast<std::size_t>(id)].g;
+      std::uint64_t move_index = 0;
       for (const Move& mv : enumerate_moves(state, move_options)) {
+        const std::uint64_t seq = beam_seq(pos, move_index++);
         ++result.stats.nodes_generated;
         SlotState child = apply_move(state, mv);
         if (!options_.allow_splits &&
@@ -89,52 +116,65 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
           continue;
         }
         const std::int64_t g2 = g + mv.cost;
-        if (goal_id >= 0 && g2 >= goal_g) continue;  // cannot improve
+        if (g2 >= frozen_goal_g) continue;  // cannot improve the incumbent
         CanonicalKey key = canonical_key(child, level);
-        auto [it, inserted] = best_g.try_emplace(std::move(key), g2);
-        if (!inserted) {
-          if (it->second <= g2) continue;
-          it->second = g2;
-        }
-        const std::int64_t hc = h_of(child);
-        const auto node_id = static_cast<std::int64_t>(nodes.size());
-        if (free_reducible(child, level)) {
-          if (goal_id < 0 || g2 < goal_g) {
-            nodes.push_back(SearchNode{std::move(child), g2, hc, id, mv});
-            goal_id = node_id;
-            goal_g = g2;
-          }
-          continue;  // goals need no further expansion
-        }
-        nodes.push_back(SearchNode{std::move(child), g2, hc, id, mv});
-        candidates.push_back(node_id);
+        beam_offer(level_map, std::move(key),
+                   BeamPending{std::move(child), g2, seq, id, mv});
       }
       ++result.stats.nodes_expanded;
     }
-    auto score = [&](std::int64_t id) {
-      const auto& node = nodes[static_cast<std::size_t>(id)];
-      return static_cast<double>(node.g + node.h) +
-             options_.cardinality_weight *
-                 static_cast<double>(node.state.cardinality() - 1);
-    };
-    std::sort(candidates.begin(), candidates.end(),
-              [&](std::int64_t a, std::int64_t b) {
-                const auto& na = nodes[static_cast<std::size_t>(a)];
-                const auto& nb = nodes[static_cast<std::size_t>(b)];
-                return std::tuple(score(a), na.h) <
-                       std::tuple(score(b), nb.h);
-              });
+
+    // Resolve the level's class winners against the cross-level best_g;
+    // resolution order is irrelevant (per-class decisions are
+    // independent, the goal adoption takes the (g2, seq) minimum).
+    std::vector<BeamCandidate> candidates;
+    candidates.reserve(level_map.size());
+    std::optional<BeamPending> goal_offer;
+    while (!level_map.empty()) {
+      auto entry = level_map.extract(level_map.begin());
+      BeamPending& pending = entry.mapped();
+      auto [it, inserted] =
+          best_g.try_emplace(std::move(entry.key()), pending.g2);
+      if (!inserted) {
+        if (it->second <= pending.g2) continue;
+        it->second = pending.g2;
+      }
+      if (free_reducible(pending.state, level)) {
+        if (!goal_offer.has_value() ||
+            beam_pending_wins(pending, *goal_offer)) {
+          goal_offer = std::move(pending);
+        }
+        continue;  // goals need no further expansion
+      }
+      const std::int64_t h = h_of(pending.state);
+      const int cardinality = pending.state.cardinality();
+      const auto node_id = static_cast<std::int64_t>(nodes.size());
+      nodes.push_back(SearchNode{std::move(pending.state), pending.g2, h,
+                                 pending.parent, pending.via});
+      candidates.push_back(BeamCandidate{
+          beam_score(pending.g2, h, cardinality, options_.cardinality_weight),
+          h, pending.g2, &it->first, node_id});
+    }
+    if (goal_offer.has_value() && goal_offer->g2 < goal_g) {
+      goal_id = static_cast<std::int64_t>(nodes.size());
+      goal_g = goal_offer->g2;
+      nodes.push_back(SearchNode{std::move(goal_offer->state), goal_offer->g2,
+                                 0, goal_offer->parent, goal_offer->via});
+    }
+
+    std::sort(candidates.begin(), candidates.end(), beam_candidate_less);
     if (static_cast<int>(candidates.size()) > options_.beam_width) {
       candidates.resize(static_cast<std::size_t>(options_.beam_width));
     }
     // Keep only states that can still beat the incumbent (h admissible).
     if (goal_id >= 0) {
-      std::erase_if(candidates, [&](std::int64_t id) {
-        const auto& node = nodes[static_cast<std::size_t>(id)];
-        return node.g + node.h >= goal_g;
+      std::erase_if(candidates, [&](const BeamCandidate& c) {
+        return c.g + c.h >= goal_g;
       });
     }
-    beam = std::move(candidates);
+    beam.clear();
+    beam.reserve(candidates.size());
+    for (const BeamCandidate& c : candidates) beam.push_back(c.id);
   }
 
   result.stats.classes_stored = best_g.size();

@@ -31,6 +31,12 @@ struct BeamOptions {
   /// Optional coupling constraint (see SearchOptions::coupling).
   std::shared_ptr<const CouplingGraph> coupling;
   double time_budget_seconds = 0.0;
+  /// Worker shards for the level expansion: 1 runs the serial descent,
+  /// larger values run the sharded parallel beam
+  /// (core/parallel_beam.hpp) with that many threads, 0 uses all
+  /// hardware threads. Results are bit-identical at every thread count
+  /// (deterministic (score, h, canonical key) selection).
+  int num_threads = 1;
   /// Optional equivalence cache (see SearchOptions::cache). The beam
   /// consults it — a cached certified-optimal circuit beats any beam
   /// descent — but never populates it: beam results carry no certificate.

@@ -1,0 +1,91 @@
+#pragma once
+// Level semantics shared by the serial beam (core/beam.cpp) and the
+// sharded parallel beam (core/parallel_beam.cpp). Bit-identical results
+// across thread counts hinge on three rules living in exactly one place:
+//
+//  - within one level, an equivalence class's winner is the generated
+//    child minimizing (g2, seq) — the same entry a serial in-order scan
+//    keeps under the strict-improvement rule;
+//  - candidate selection orders by (score, h, canonical key), a total
+//    order once classes are deduplicated (keys are unique);
+//  - the selection score itself (f plus the cardinality estimate).
+//
+// Everything here is single-threaded; the parallel kernel gets its
+// determinism from these rules being order-free (beam_offer is
+// commutative and associative over (g2, seq) minimization).
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "core/moves.hpp"
+#include "core/search_core.hpp"
+
+namespace qsp {
+
+/// Generation-order stamp: the parent's position in the level frontier
+/// (major) and the move ordinal within the parent's expansion (minor).
+/// Unique per generated child, so (g2, seq) is a total order.
+inline std::uint64_t beam_seq(std::uint64_t beam_pos,
+                              std::uint64_t move_index) {
+  return (beam_pos << 32) | move_index;
+}
+
+/// A generated child waiting for its class's level resolution. `parent`
+/// is searcher-defined (arena offset or sharded gid), like
+/// SearchNode::parent.
+struct BeamPending {
+  SlotState state;
+  std::int64_t g2 = 0;
+  std::uint64_t seq = 0;
+  std::int64_t parent = SearchNode::kNoParent;
+  Move via;
+};
+
+/// True when `a` beats `b` for its class's slot (or the level's goal).
+inline bool beam_pending_wins(const BeamPending& a, const BeamPending& b) {
+  return std::tie(a.g2, a.seq) < std::tie(b.g2, b.seq);
+}
+
+/// Offer a child to its class's slot in a level map, keeping the
+/// (g2, seq) minimum. One class can never occupy two slots of the
+/// truncated beam (the duplicate-class bug the level map exists to fix).
+inline void beam_offer(ClassIndex<BeamPending>& level_map, CanonicalKey&& key,
+                       BeamPending&& pending) {
+  auto [it, inserted] =
+      level_map.try_emplace(std::move(key), std::move(pending));
+  if (!inserted && beam_pending_wins(pending, it->second)) {
+    it->second = std::move(pending);
+  }
+}
+
+/// Selection score: the admissible f = g + h plus the (inadmissible,
+/// selection-only) cardinality estimate — see
+/// BeamOptions::cardinality_weight.
+inline double beam_score(std::int64_t g, std::int64_t h, int cardinality,
+                         double cardinality_weight) {
+  return static_cast<double>(g + h) +
+         cardinality_weight * static_cast<double>(cardinality - 1);
+}
+
+/// One class winner surviving resolution, ready for the k-select. `key`
+/// points at the searcher's best_g entry for the class (node-based
+/// unordered_map ⇒ stable), `id` is the searcher's node id (arena offset
+/// or sharded gid).
+struct BeamCandidate {
+  double score = 0.0;
+  std::int64_t h = 0;
+  std::int64_t g = 0;
+  const CanonicalKey* key = nullptr;
+  std::int64_t id = 0;
+};
+
+/// The deterministic truncation order: (score, h, canonical key).
+inline bool beam_candidate_less(const BeamCandidate& a,
+                                const BeamCandidate& b) {
+  if (a.score != b.score) return a.score < b.score;
+  if (a.h != b.h) return a.h < b.h;
+  return *a.key < *b.key;
+}
+
+}  // namespace qsp

@@ -37,10 +37,13 @@ SynthesisResult ExactSynthesizer::synthesize(const SlotState& target) const {
   const BeamSynthesizer beam(beam_options);
   SynthesisResult fallback = beam.synthesize(target);
   // Keep the A* statistics visible: the fallback happened because the
-  // exact search ran out of budget.
+  // exact search ran out of budget. That includes budget_exhausted — a
+  // fallback result is budget-shaped even when the beam itself finished
+  // its descent, so the flag tells callers more budget could improve it.
   fallback.stats.nodes_expanded += result.stats.nodes_expanded;
   fallback.stats.nodes_generated += result.stats.nodes_generated;
   fallback.stats.seconds += result.stats.seconds;
+  fallback.stats.budget_exhausted |= result.stats.budget_exhausted;
   return fallback;
 }
 

@@ -13,18 +13,6 @@
 namespace qsp {
 namespace {
 
-// Global node ids pack (shard, arena offset); parents cross shards.
-constexpr int kShardShift = 40;
-constexpr std::int64_t kLocalMask = (std::int64_t{1} << kShardShift) - 1;
-
-std::int64_t make_gid(int shard, std::int64_t local) {
-  return (static_cast<std::int64_t>(shard) << kShardShift) | local;
-}
-int gid_shard(std::int64_t gid) {
-  return static_cast<int>(gid >> kShardShift);
-}
-std::int64_t gid_local(std::int64_t gid) { return gid & kLocalMask; }
-
 /// A successor routed to the shard owning its canonical key. The owner
 /// computes h lazily (only for classes it has never seen).
 struct Mail {
@@ -105,13 +93,14 @@ class HdaStar {
       result.stats.nodes_expanded += shard.expanded;
       result.stats.stale_pops += shard.stale_pops;
       result.stats.classes_stored += shard.arena.size();
-      result.stats.peak_open_size += shard.open.peak_size();
+      result.stats.sum_shard_peak_open_size += shard.open.peak_size();
     }
     result.stats.nodes_generated = shared_.nodes_generated.load();
     result.stats.seconds = timer.seconds();
     result.stats.completed =
         !shared_.aborted.load() &&
         shared_.incumbent_gid != SearchNode::kNoParent;
+    result.stats.budget_exhausted = shared_.aborted.load();
 
     if (shared_.incumbent_gid != SearchNode::kNoParent) {
       const std::int64_t goal = shared_.incumbent_gid;
@@ -133,8 +122,8 @@ class HdaStar {
 
  private:
   const SearchNode& node_at(std::int64_t gid) const {
-    return shards_[static_cast<std::size_t>(gid_shard(gid))].arena.node(
-        gid_local(gid));
+    return shards_[static_cast<std::size_t>(shard_of_gid(gid))].arena.node(
+        local_of_gid(gid));
   }
 
   std::int64_t h_of(const SlotState& s) const { return h_(s); }
@@ -187,7 +176,7 @@ class HdaStar {
         const auto top = shard.open.pop_best(g_of, shard.stale_pops);
         if (top.has_value() && top->f < incumbent) {
           if (free_reducible(shard.arena.node(top->id).state, level_)) {
-            offer_incumbent(top->g_at_push, make_gid(s, top->id));
+            offer_incumbent(top->g_at_push, make_shard_gid(s, top->id));
           } else {
             expand(s, shard, top->id, outbox);
           }
@@ -210,7 +199,7 @@ class HdaStar {
     ++shard.expanded;
     const SlotState state = shard.arena.node(id).state;  // may reallocate
     const std::int64_t g = shard.arena.node(id).g;
-    const std::int64_t parent_gid = make_gid(s, id);
+    const std::int64_t parent_gid = make_shard_gid(s, id);
     auto h = [this](const SlotState& child) { return h_of(child); };
 
     std::uint64_t generated = 0;

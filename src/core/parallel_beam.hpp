@@ -1,0 +1,52 @@
+#pragma once
+// Sharded parallel beam descent on the same mailbox substrate as the HDA*
+// kernel (core/parallel_astar.hpp): each level's frontier is partitioned
+// across BeamOptions::num_threads workers, children are generated and
+// canonicalized locally, and every child is routed to the shard owning its
+// canonical key (hash of the key, mutex-striped mailboxes), so duplicate
+// classes are resolved without global locking against a sharded best_g.
+// A per-shard top-k selection followed by a merge of the k sorted lists
+// replaces the serial global sort, and a level barrier restores beam
+// semantics before the next expansion.
+//
+// Unlike HDA*, the beam is level-synchronous, so determinism is cheap to
+// keep: within a level, a class's winner is the generated child
+// minimizing (g2, seq) where seq stamps the serial generation order
+// (frontier position, move ordinal), goals are adopted by the same
+// (g2, seq) rule, and candidates are ordered by (score, h, canonical
+// key) — a total order. Every reduction is a commutative/associative
+// minimum, so the result is **bit-identical to the serial beam at every
+// thread count** (circuit, cnot_cost, and the deterministic stats
+// fields); tests/test_parallel_beam.cpp pins this corpus-wide. The only
+// nondeterministic runs are deadline-truncated ones, which both kernels
+// flag via SearchStats::budget_exhausted.
+//
+// `BeamSynthesizer` dispatches here automatically when
+// BeamOptions::num_threads != 1; this header is the direct entry point
+// used by the determinism tests and the thread-scaling benches.
+
+#include "core/beam.hpp"
+
+namespace qsp {
+
+class ParallelBeamSynthesizer {
+ public:
+  explicit ParallelBeamSynthesizer(BeamOptions options = {});
+
+  /// Run the sharded beam descent for the slot-encoded target. Returns
+  /// exactly what the serial beam returns on the same options (see
+  /// above); like the serial beam, the result never carries the
+  /// `optimal` certificate.
+  SynthesisResult synthesize(const SlotState& target) const;
+
+  /// Convenience: decompose a sparse state into slots first. Throws
+  /// std::invalid_argument if the state has no slot decomposition.
+  SynthesisResult synthesize(const QuantumState& target) const;
+
+  const BeamOptions& options() const { return options_; }
+
+ private:
+  BeamOptions options_;
+};
+
+}  // namespace qsp

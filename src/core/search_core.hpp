@@ -48,6 +48,23 @@ struct SearchNode {
 template <class V>
 using ClassIndex = std::unordered_map<CanonicalKey, V, CanonicalKeyHash>;
 
+/// Global node ids for the sharded kernels (HDA*, parallel beam) pack
+/// (shard, arena offset) into one int64 so parent chains may cross
+/// shards; SearchNode::kNoParent stays representable (shard -1).
+inline constexpr int kShardGidShift = 40;
+inline constexpr std::int64_t kShardGidLocalMask =
+    (std::int64_t{1} << kShardGidShift) - 1;
+
+inline std::int64_t make_shard_gid(int shard, std::int64_t local) {
+  return (static_cast<std::int64_t>(shard) << kShardGidShift) | local;
+}
+inline int shard_of_gid(std::int64_t gid) {
+  return static_cast<int>(gid >> kShardGidShift);
+}
+inline std::int64_t local_of_gid(std::int64_t gid) {
+  return gid & kShardGidLocalMask;
+}
+
 /// Qubit relabeling is only free on a symmetric (complete) coupling, so
 /// permutation canonicalization must be demoted to U(2) elsewhere.
 CanonicalLevel effective_canonical_level(CanonicalLevel requested,

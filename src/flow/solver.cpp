@@ -34,11 +34,13 @@ Solver::Solver(WorkflowOptions options) : options_(std::move(options)) {
 }
 
 Circuit Solver::prepare_via_exact_tail(const QuantumState& reduced,
-                                       bool* used_exact) const {
-  return exact_tail(reduced, used_exact, Deadline(0.0));
+                                       bool* used_exact,
+                                       bool* budget_exhausted) const {
+  return exact_tail(reduced, used_exact, budget_exhausted, Deadline(0.0));
 }
 
 Circuit Solver::exact_tail(const QuantumState& reduced, bool* used_exact,
+                           bool* budget_exhausted,
                            const Deadline& deadline) const {
   if (used_exact != nullptr) *used_exact = false;
   const QuantumState target = normalize_global_sign(reduced);
@@ -110,6 +112,7 @@ Circuit Solver::exact_tail(const QuantumState& reduced, bool* used_exact,
     ExactSynthesisOptions exact_options = options_.exact;
     if (options_.num_threads != 1) {
       exact_options.astar.num_threads = options_.num_threads;
+      exact_options.beam.num_threads = options_.num_threads;
     }
     if (tail_coupling != nullptr) {
       exact_options.astar.coupling = tail_coupling;
@@ -129,6 +132,9 @@ Circuit Solver::exact_tail(const QuantumState& reduced, bool* used_exact,
         clamp_budget(exact_options.time_budget_seconds, deadline);
     const ExactSynthesizer exact(exact_options);
     const SynthesisResult res = exact.synthesize(narrow);
+    if (budget_exhausted != nullptr && res.stats.budget_exhausted) {
+      *budget_exhausted = true;
+    }
     if (!res.found) {
       MFlowOptions fallback = options_.mflow;
       fallback.strategy = MFlowOptions::PairStrategy::kCheapest;
@@ -193,7 +199,8 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
 
   if (fits_thresholds(target)) {
     result.circuit = routed_onto_device(
-        exact_tail(target, &result.used_exact_tail, deadline));
+        exact_tail(target, &result.used_exact_tail,
+                   &result.budget_exhausted, deadline));
     result.found = true;
     return result;
   }
@@ -205,7 +212,8 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
     const MFlowReduction reduction =
         mflow_reduce(target, fits_thresholds, mflow);
     if (reduction.timed_out) return std::nullopt;
-    Circuit circuit = exact_tail(reduction.reduced, used_exact, deadline);
+    Circuit circuit = exact_tail(reduction.reduced, used_exact,
+                                 &result.budget_exhausted, deadline);
     Circuit forward(n);
     for (const Gate& g : reduction.forward_gates) forward.append(g);
     circuit.append(forward.adjoint());
@@ -249,7 +257,8 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   if (marginal_slots.has_value() &&
       marginal_slots->total() <= options_.dense_tail_total_cap) {
     bool exact_used = false;
-    Circuit exact_marginal = exact_tail(marginal, &exact_used, deadline);
+    Circuit exact_marginal =
+        exact_tail(marginal, &exact_used, &result.budget_exhausted, deadline);
     if (exact_used && selection_cost(exact_marginal, elide) <
                           selection_cost(tail, elide)) {
       tail = std::move(exact_marginal);

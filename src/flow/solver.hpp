@@ -39,10 +39,13 @@ struct WorkflowOptions {
   /// (via ExactSynthesisOptions::time_budget_seconds), so a runaway A*
   /// aborts mid-search and the circuit-producing fallbacks still run.
   double time_budget_seconds = 0.0;
-  /// Worker threads for the exact tail's A* kernel. 1 keeps the serial
-  /// kernel; any other value (0 = all hardware threads) overrides
-  /// exact.astar.num_threads and runs the sharded HDA* kernel
-  /// (core/parallel_astar.hpp) on every exact-tail search.
+  /// Worker threads for the exact tail's kernel searches. 1 keeps the
+  /// serial kernels; any other value (0 = all hardware threads)
+  /// overrides exact.astar.num_threads and exact.beam.num_threads, so
+  /// every exact-tail search runs the sharded HDA* kernel
+  /// (core/parallel_astar.hpp) and the beam fallback runs the sharded
+  /// parallel beam (core/parallel_beam.hpp) — beam results stay
+  /// bit-identical to the serial descent at every thread count.
   int num_threads = 1;
   /// Optional target device. When set (and not all-to-all), the workflow
   /// becomes coupling-aware end to end: the exact tail hosts the
@@ -93,6 +96,12 @@ struct WorkflowResult {
   bool sparse_path = false;
   /// True if the exact kernel produced the tail of the circuit.
   bool used_exact_tail = false;
+  /// True if some exact-tail kernel search this workflow ran stopped
+  /// early on its node or wall-clock budget
+  /// (SearchStats::budget_exhausted): the returned circuit is still
+  /// valid, but a larger budget could improve it. Distinct from
+  /// `timed_out`, which means the workflow produced no circuit at all.
+  bool budget_exhausted = false;
   /// The preparation. With WorkflowOptions::coupling set, the register is
   /// the device register (target qubits first, spare device qubits are
   /// ancillas returning to |0>) and the circuit is routed: only 1-qubit
@@ -116,9 +125,11 @@ class Solver {
   /// runs against that subgraph's routed costs; the returned register is
   /// the device register. The output is *not* routed here — prepare()
   /// routes the assembled workflow circuit once at the end. Exposed for
-  /// tests and benches.
+  /// tests and benches. `budget_exhausted`, when non-null, is OR-ed with
+  /// SearchStats::budget_exhausted of the kernel search run here.
   Circuit prepare_via_exact_tail(const QuantumState& reduced,
-                                 bool* used_exact = nullptr) const;
+                                 bool* used_exact = nullptr,
+                                 bool* budget_exhausted = nullptr) const;
 
   const WorkflowOptions& options() const { return options_; }
 
@@ -126,9 +137,10 @@ class Solver {
   /// Deadline-aware body of prepare_via_exact_tail: the enclosing
   /// workflow deadline's remaining time bounds every kernel search run
   /// here; the search-free cardinality-reduction fallback is never
-  /// budgeted, so a circuit is always produced.
+  /// budgeted, so a circuit is always produced. A budget-truncated
+  /// kernel search sets *budget_exhausted (OR semantics across calls).
   Circuit exact_tail(const QuantumState& reduced, bool* used_exact,
-                     const Deadline& deadline) const;
+                     bool* budget_exhausted, const Deadline& deadline) const;
 
   WorkflowOptions options_;
 };

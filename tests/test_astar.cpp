@@ -65,10 +65,10 @@ TEST(AStar, SearchStatsPopulated) {
   EXPECT_GT(res.stats.nodes_expanded, 0u);
   EXPECT_GT(res.stats.nodes_generated, res.stats.nodes_expanded);
   EXPECT_GT(res.stats.classes_stored, 1u);
-  EXPECT_GT(res.stats.peak_open_size, 0u);
+  EXPECT_GT(res.stats.sum_shard_peak_open_size, 0u);
   // The queue never exceeds the generated-arc count, and every stale pop
   // corresponds to an earlier push.
-  EXPECT_LE(res.stats.peak_open_size, res.stats.nodes_generated + 1);
+  EXPECT_LE(res.stats.sum_shard_peak_open_size, res.stats.nodes_generated + 1);
   EXPECT_LE(res.stats.stale_pops, res.stats.nodes_generated);
 }
 
@@ -78,6 +78,14 @@ TEST(AStar, BudgetExhaustionReportsNotFound) {
   const SynthesisResult res = solve(make_dicke(4, 2), tight);
   EXPECT_FALSE(res.found);
   EXPECT_FALSE(res.stats.completed);
+  EXPECT_TRUE(res.stats.budget_exhausted);
+}
+
+TEST(AStar, CompletedSearchIsNotBudgetExhausted) {
+  const SynthesisResult res = solve(make_dicke(4, 2));
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.stats.completed);
+  EXPECT_FALSE(res.stats.budget_exhausted);
 }
 
 TEST(AStar, HeuristicModesAgreeOnOptimalCost) {

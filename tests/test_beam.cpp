@@ -85,7 +85,9 @@ TEST(Beam, DickeFiveTwoBeatsManualDesign) {
   // beam must find a verified circuit at or below the manual cost.
   BeamOptions options;
   options.beam_width = 256;
-  options.time_budget_seconds = 30.0;
+  // Generous: the descent takes ~3s native; the margin absorbs the
+  // ASan/UBSan slowdown (the test stays excluded from the TSan job).
+  options.time_budget_seconds = 90.0;
   const BeamSynthesizer beam(options);
   const QuantumState target = make_dicke(5, 2);
   const SynthesisResult res = beam.synthesize(target);
@@ -95,9 +97,15 @@ TEST(Beam, DickeFiveTwoBeatsManualDesign) {
 }
 
 TEST(Beam, ResultsUnchangedAfterSearchCorePort) {
-  // Frozen costs and class counts captured from the pre-search-core beam
-  // implementation on fixed seeds: the port onto the shared substrate
-  // (search_core.hpp) must be behavior-identical, not just "still good".
+  // Frozen costs and class counts on fixed seeds: any unintentional
+  // behavior drift in the level loop must fail here. Re-frozen with the
+  // level-synchronous rewrite that (a) deduplicates candidates per
+  // canonical class (one class can no longer occupy several beam slots —
+  // rand(5,8) improves 14 -> 12 CNOTs), (b) freezes the incumbent bound
+  // at level entry (a few more classes stored, but pruning no longer
+  // depends on within-level discovery order, which is what lets the
+  // parallel beam match bit for bit), and (c) orders candidates by
+  // (score, h, canonical key).
   struct Snapshot {
     QuantumState target;
     BeamOptions options;
@@ -110,11 +118,11 @@ TEST(Beam, ResultsUnchangedAfterSearchCorePort) {
   Rng rng78(78);
   std::vector<Snapshot> snapshots;
   snapshots.push_back({make_w(3), {}, 4, 7});
-  snapshots.push_back({make_dicke(4, 2), {}, 6, 300});
-  snapshots.push_back({make_dicke(5, 1), wide, 10, 495});
-  snapshots.push_back({make_uniform(3, {0, 3, 5, 6}), {}, 2, 4});
-  snapshots.push_back({make_random_uniform(4, 6, rng77), {}, 8, 318});
-  snapshots.push_back({make_random_uniform(5, 8, rng78), {}, 14, 24723});
+  snapshots.push_back({make_dicke(4, 2), {}, 6, 365});
+  snapshots.push_back({make_dicke(5, 1), wide, 10, 501});
+  snapshots.push_back({make_uniform(3, {0, 3, 5, 6}), {}, 2, 8});
+  snapshots.push_back({make_random_uniform(4, 6, rng77), {}, 8, 331});
+  snapshots.push_back({make_random_uniform(5, 8, rng78), {}, 12, 23192});
   for (const Snapshot& snap : snapshots) {
     const BeamSynthesizer beam(snap.options);
     const SynthesisResult res = beam.synthesize(snap.target);
@@ -124,6 +132,47 @@ TEST(Beam, ResultsUnchangedAfterSearchCorePort) {
         << snap.target.to_string();
     verify_preparation_or_throw(res.circuit, snap.target);
   }
+}
+
+TEST(Beam, DuplicateClassCannotCrowdOutNeededClasses) {
+  // Regression for the duplicate-class beam-slot bug: when a child
+  // improved an already-seen class's best_g within the same level, the
+  // new node was appended to the candidate list while the stale sibling
+  // of the same canonical class was still in it, so after truncation one
+  // class could occupy several beam slots and evict distinct classes the
+  // descent needed. On this instance the pre-fix beam returned 25 / 24 /
+  // 20 CNOTs at widths 2 / 3 / 4 (exact optimum: 8) because narrow beams
+  // kept filling with one class's duplicates; with per-class
+  // deduplication every width reaches 15 or better.
+  const QuantumState target = make_uniform(
+      4, {0b0000, 0b0011, 0b0110, 0b0111, 0b1001, 0b1010, 0b1011, 0b1100,
+          0b1110});
+  for (const int width : {2, 3, 4}) {
+    BeamOptions options;
+    options.beam_width = width;
+    const SynthesisResult res = BeamSynthesizer(options).synthesize(target);
+    ASSERT_TRUE(res.found) << "width=" << width;
+    verify_preparation_or_throw(res.circuit, target);
+    EXPECT_LE(res.cnot_cost, 15) << "width=" << width;
+  }
+}
+
+TEST(Beam, BudgetTruncationIsFlagged) {
+  // The deadline break inside a level used to truncate candidate
+  // generation silently: the returned SynthesisResult was
+  // indistinguishable from a full descent. It must now carry
+  // SearchStats::budget_exhausted.
+  BeamOptions tight;
+  tight.time_budget_seconds = 1e-9;
+  const SynthesisResult res =
+      BeamSynthesizer(tight).synthesize(make_dicke(5, 2));
+  EXPECT_TRUE(res.stats.budget_exhausted);
+  BeamOptions free_run;
+  free_run.beam_width = 64;
+  const SynthesisResult full =
+      BeamSynthesizer(free_run).synthesize(make_dicke(5, 2));
+  ASSERT_TRUE(full.found);
+  EXPECT_FALSE(full.stats.budget_exhausted);
 }
 
 TEST(Beam, IncumbentPruningKeepsBestGoal) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/coupling.hpp"
+#include "core/search_core.hpp"
 #include "circuit/lowering.hpp"
 #include "sim/verifier.hpp"
 #include "state/state_factory.hpp"
@@ -94,7 +96,31 @@ TEST(ParallelAStar, StatsAggregateAcrossShards) {
   EXPECT_GT(res.stats.nodes_expanded, 0u);
   EXPECT_GT(res.stats.nodes_generated, res.stats.nodes_expanded);
   EXPECT_GT(res.stats.classes_stored, 1u);
-  EXPECT_GT(res.stats.peak_open_size, 0u);
+  EXPECT_GT(res.stats.sum_shard_peak_open_size, 0u);
+  // Every push is a generated arc (plus the root), and per-shard peaks
+  // bound per-shard pushes, so the sum obeys the same global bound the
+  // serial kernel's true peak does.
+  EXPECT_LE(res.stats.sum_shard_peak_open_size,
+            res.stats.nodes_generated + 1);
+}
+
+TEST(ParallelAStar, SumShardPeakSumsPeaksThatNeedNotCoincide) {
+  // Pin the stat's semantics at the OpenQueue level: each shard reports
+  // its own lifetime peak, so the sum can exceed any instantaneous
+  // global population — here queue A peaks at 3, is drained to empty,
+  // and only then does queue B peak at 2: no moment ever holds 5
+  // entries, yet the reported sum is 5. sum_shard_peak_open_size is an
+  // upper bound on the true global peak, not the peak itself.
+  OpenQueue a;
+  OpenQueue b;
+  std::uint64_t stale = 0;
+  const auto g_of = [](std::int64_t) { return std::int64_t{0}; };
+  for (std::int64_t id = 0; id < 3; ++id) a.push(id, 0, id, 0);
+  while (a.pop_best(g_of, stale).has_value()) {
+  }
+  ASSERT_TRUE(a.empty());
+  for (std::int64_t id = 0; id < 2; ++id) b.push(id, 0, id, 0);
+  EXPECT_EQ(a.peak_size() + b.peak_size(), 5u);
 }
 
 TEST(ParallelAStar, BudgetExhaustionReportsNotFound) {
@@ -105,6 +131,7 @@ TEST(ParallelAStar, BudgetExhaustionReportsNotFound) {
       ParallelAStarSynthesizer(tight).synthesize(make_dicke(4, 2));
   EXPECT_FALSE(res.found);
   EXPECT_FALSE(res.stats.completed);
+  EXPECT_TRUE(res.stats.budget_exhausted);
 }
 
 TEST(ParallelAStar, CouplingConstrainedCostsMatchSerial) {

@@ -160,6 +160,43 @@ TEST(SynthesisService, ConcurrentIdenticalRequestsDeduplicateInFlight) {
   EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kRequests) - 1);
 }
 
+TEST(SynthesisService, SearchLevelParallelismComposesWithWorkerPool) {
+  // Requests carrying WorkflowOptions::num_threads run their exact-tail
+  // searches on the sharded kernels inside a service worker; the beam
+  // kernel's thread-count determinism means the answers are bit-identical
+  // to a serial request for the same state. share_cache is off so both
+  // requests really search.
+  SynthesisServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.share_cache = false;
+  SynthesisService service(service_options);
+
+  WorkflowOptions serial;
+  serial.exact_max_qubits = 5;
+  serial.exact.astar.node_budget = 50;  // force the beam fallback
+  serial.exact.beam.time_budget_seconds = 0.0;
+  serial.exact.beam.beam_width = 256;
+  serial.exact.beam.max_controls = -1;
+  WorkflowOptions parallel = serial;
+  parallel.num_threads = 4;
+
+  const QuantumState target = make_dicke(5, 1);
+  std::vector<ServiceRequest> batch;
+  batch.push_back(request_for(target, serial));
+  batch.push_back(request_for(target, parallel));
+  const std::vector<ServiceResponse> responses =
+      service.run_batch(std::move(batch));
+  ASSERT_EQ(responses.size(), 2u);
+  ASSERT_TRUE(responses[0].result.found);
+  ASSERT_TRUE(responses[1].result.found);
+  EXPECT_TRUE(responses[0].result.circuit == responses[1].result.circuit);
+  // Both aborted their A* stage on the tiny node budget: the truncation
+  // must surface through the service response.
+  EXPECT_TRUE(responses[0].result.budget_exhausted);
+  EXPECT_TRUE(responses[1].result.budget_exhausted);
+  verify_preparation_or_throw(responses[1].result.circuit, target);
+}
+
 TEST(SynthesisService, RequestExceptionsPropagateThroughFutures) {
   SynthesisServiceOptions options;
   options.num_workers = 1;

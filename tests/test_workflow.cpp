@@ -302,6 +302,48 @@ TEST(Workflow, TimeBudgetAbortsRunawayKernelSearch) {
   EXPECT_LT(timer.seconds(), 10.0);
   ASSERT_TRUE(res.found);
   EXPECT_FALSE(res.used_exact_tail);  // aborted mid-search, fell back
+  // The budget truncation must be visible on the workflow result, not
+  // just silently swallowed by the fallback.
+  EXPECT_TRUE(res.budget_exhausted);
+  verify_preparation_or_throw(res.circuit, target);
+}
+
+TEST(Workflow, UnconstrainedRunIsNotBudgetExhausted) {
+  const Solver solver;
+  const WorkflowResult res = solver.prepare(make_dicke(4, 2));
+  ASSERT_TRUE(res.found);
+  EXPECT_FALSE(res.budget_exhausted);
+}
+
+TEST(Workflow, NumThreadsReachesBeamFallback) {
+  // WorkflowOptions::num_threads must also drive the exact tail's beam
+  // fallback (the sharded parallel beam), and the result must stay
+  // bit-identical to the single-threaded workflow: the beam kernel is
+  // deterministic across thread counts.
+  WorkflowOptions serial_options;
+  serial_options.exact_max_qubits = 5;
+  serial_options.exact.astar.node_budget = 50;  // force the beam fallback
+  serial_options.exact.astar.time_budget_seconds = 0.0;
+  // Unbudgeted beam: a deadline-truncated descent is (deliberately) not
+  // deterministic, and this test pins bit-identity.
+  serial_options.exact.beam.time_budget_seconds = 0.0;
+  serial_options.exact.beam.beam_width = 256;
+  serial_options.exact.beam.max_controls = -1;  // W_5 needs wide merges
+  const QuantumState target = make_dicke(5, 1);
+  const WorkflowResult ref = Solver(serial_options).prepare(target);
+  ASSERT_TRUE(ref.found);
+  ASSERT_TRUE(ref.used_exact_tail);  // beam result, via the fallback
+
+  WorkflowOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+  const WorkflowResult res = Solver(parallel_options).prepare(target);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(res.used_exact_tail);
+  EXPECT_TRUE(res.circuit == ref.circuit);
+  // Both runs aborted the A* stage on its node budget before falling
+  // back, so both must carry the flag.
+  EXPECT_TRUE(ref.budget_exhausted);
+  EXPECT_TRUE(res.budget_exhausted);
   verify_preparation_or_throw(res.circuit, target);
 }
 
