@@ -42,6 +42,7 @@ int main() {
         WorkflowOptions options;
         options.exact_max_qubits = tq;
         options.exact_max_cardinality = tm;
+        options.opt_level = bench::bench_opt_level();
         const Solver solver(options);
         const Timer timer;
         const WorkflowResult res = solver.prepare(target);

@@ -80,6 +80,19 @@ int bench_threads() {
   return threads < 0 ? 1 : threads;
 }
 
+OptLevel bench_opt_level() {
+  const char* env = std::getenv("QSP_OPT_LEVEL");
+  if (env == nullptr || *env == '\0') return OptLevel::kO1;
+  switch (std::atoi(env)) {
+    case 0:
+      return OptLevel::kO0;
+    case 2:
+      return OptLevel::kO2;
+    default:
+      return OptLevel::kO1;
+  }
+}
+
 void print_banner(const std::string& title, const std::string& description) {
   std::cout << "=== " << title << " ===\n";
   std::cout << description << "\n";

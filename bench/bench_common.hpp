@@ -14,6 +14,7 @@
 #include <string>
 
 #include "circuit/circuit.hpp"
+#include "circuit/pass_pipeline.hpp"
 #include "state/quantum_state.hpp"
 
 namespace qsp::bench {
@@ -28,6 +29,11 @@ bool smoke_mode();
 /// QSP_BENCH_THREADS (default 1 = the serial kernel, 0 = all hardware
 /// threads). The fig7 thread-scaling section sweeps its own counts.
 int bench_threads();
+
+/// Pass-pipeline level for the workflow in bench sweeps, from
+/// QSP_OPT_LEVEL (0/1/2; default 1, the historical cleanup). The
+/// ablation_passes binary sweeps all levels regardless of this.
+OptLevel bench_opt_level();
 
 /// Standard banner: what is reproduced and how to widen the sweep.
 void print_banner(const std::string& title, const std::string& description);

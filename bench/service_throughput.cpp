@@ -102,6 +102,7 @@ int run_section(const std::string& name,
   const Workload workload = build_workload(device == nullptr);
   WorkflowOptions workflow;
   workflow.coupling = device;
+  workflow.opt_level = bench::bench_opt_level();
   // Generous kernel budgets: only certified-optimal searches populate
   // the cache, so a budget-exhausted beam fallback would re-search on
   // every repeat and understate the warm phase.

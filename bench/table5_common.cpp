@@ -27,6 +27,7 @@ SweepRow run_cell(int n, int m, int samples, double time_limit,
     const QuantumState target = make_random_uniform(n, m, rng);
     WorkflowOptions workflow;
     workflow.num_threads = bench_threads();
+    workflow.opt_level = bench_opt_level();
     for (int i = 0; i < 4; ++i) {
       if (!active[i]) continue;
       const MethodRun run =

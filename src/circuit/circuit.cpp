@@ -44,6 +44,23 @@ std::int64_t Circuit::cnot_cost() const {
   return total;
 }
 
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> wire(static_cast<std::size_t>(num_qubits_), 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t layer = 0;
+    for (const int q : g.qubits()) {
+      layer = std::max(layer, wire[static_cast<std::size_t>(q)]);
+    }
+    ++layer;
+    for (const int q : g.qubits()) {
+      wire[static_cast<std::size_t>(q)] = layer;
+    }
+    depth = std::max(depth, layer);
+  }
+  return depth;
+}
+
 std::map<GateKind, std::size_t> Circuit::gate_counts() const {
   std::map<GateKind, std::size_t> counts;
   for (const Gate& g : gates_) ++counts[g.kind()];

@@ -33,6 +33,10 @@ class Circuit {
   /// Total CNOT cost under the Table-I cost model (see cost_model.hpp).
   std::int64_t cnot_cost() const;
 
+  /// Wire-parallel circuit depth: gates on disjoint wires share a layer,
+  /// gates sharing any wire (target or control) stack. 0 when empty.
+  std::size_t depth() const;
+
   /// Gate-count histogram by kind.
   std::map<GateKind, std::size_t> gate_counts() const;
 

@@ -1,168 +1,20 @@
 #include "circuit/optimizer.hpp"
 
-#include <cmath>
-#include <optional>
-#include <vector>
-
-#include "circuit/cost_model.hpp"
-#include "util/assert.hpp"
-
 namespace qsp {
-namespace {
-
-bool is_trivial_rotation(const Gate& g, double eps) {
-  switch (g.kind()) {
-    case GateKind::kRy:
-    case GateKind::kCRy:
-    case GateKind::kMCRy:
-    case GateKind::kRz:
-      return std::abs(g.theta()) <= eps;
-    case GateKind::kUCRy:
-    case GateKind::kUCRz: {
-      for (const double a : g.angles()) {
-        if (std::abs(a) > eps) return false;
-      }
-      return true;
-    }
-    default:
-      return false;
-  }
-}
-
-/// One optimization sweep; returns true if anything changed.
-bool sweep(std::vector<std::optional<Gate>>& gates,
-           const OptimizerOptions& options, int num_qubits) {
-  bool changed = false;
-  // last_on[q]: index of the latest surviving gate touching wire q.
-  std::vector<int> last_on(static_cast<std::size_t>(num_qubits), -1);
-
-  auto erase = [&](int idx) {
-    gates[static_cast<std::size_t>(idx)].reset();
-    changed = true;
-  };
-
-  for (int i = 0; i < static_cast<int>(gates.size()); ++i) {
-    if (!gates[static_cast<std::size_t>(i)].has_value()) continue;
-    Gate& g = *gates[static_cast<std::size_t>(i)];
-
-    if (is_trivial_rotation(g, options.angle_epsilon)) {
-      erase(i);
-      continue;
-    }
-
-    // The candidate predecessor: the latest gate on any touched wire. The
-    // pair is adjacent (commutation-safe) iff it is the latest on *every*
-    // touched wire.
-    int prev = -1;
-    bool adjacent = true;
-    for (const int q : g.qubits()) {
-      const int lq = last_on[static_cast<std::size_t>(q)];
-      if (prev == -1) prev = lq;
-      if (lq != prev) adjacent = false;
-      prev = std::max(prev, lq);
-    }
-    if (adjacent && prev >= 0 &&
-        gates[static_cast<std::size_t>(prev)].has_value()) {
-      Gate& p = *gates[static_cast<std::size_t>(prev)];
-      const bool same_wires =
-          p.target() == g.target() && p.controls() == g.controls();
-      if (same_wires && p.kind() == g.kind()) {
-        switch (g.kind()) {
-          case GateKind::kX:
-          case GateKind::kCNOT:
-            // Self-inverse pair cancels.
-            erase(prev);
-            erase(i);
-            continue;
-          case GateKind::kRz: {
-            const double theta = p.theta() + g.theta();
-            const int target = g.target();
-            erase(prev);
-            erase(i);
-            if (std::abs(theta) > options.angle_epsilon) {
-              gates[static_cast<std::size_t>(i)] = Gate::rz(target, theta);
-            } else {
-              continue;
-            }
-            break;
-          }
-          case GateKind::kRy:
-          case GateKind::kCRy:
-          case GateKind::kMCRy: {
-            // Fuse rotations; drop if the sum vanishes. Copy the fields
-            // before erasing: g aliases the slot being cleared.
-            const double theta = p.theta() + g.theta();
-            const int target = g.target();
-            const std::vector<ControlLiteral> controls = g.controls();
-            erase(prev);
-            erase(i);
-            if (std::abs(theta) > options.angle_epsilon) {
-              gates[static_cast<std::size_t>(i)] =
-                  Gate::mcry(controls, target, theta);
-            } else {
-              continue;
-            }
-            break;
-          }
-          case GateKind::kUCRy:
-          case GateKind::kUCRz: {
-            const bool z_axis = g.kind() == GateKind::kUCRz;
-            if (p.angles().size() == g.angles().size()) {
-              std::vector<double> sum = g.angles();
-              for (std::size_t j = 0; j < sum.size(); ++j) {
-                sum[j] += p.angles()[j];
-              }
-              const int target = g.target();
-              std::vector<int> controls;
-              for (const auto& c : g.controls()) controls.push_back(c.qubit);
-              erase(prev);
-              erase(i);
-              Gate fused = z_axis
-                               ? Gate::ucrz(controls, target, std::move(sum))
-                               : Gate::ucry(controls, target, std::move(sum));
-              if (!is_trivial_rotation(fused, options.angle_epsilon)) {
-                gates[static_cast<std::size_t>(i)] = std::move(fused);
-              } else {
-                continue;
-              }
-            }
-            break;
-          }
-        }
-      }
-    }
-    if (gates[static_cast<std::size_t>(i)].has_value()) {
-      for (const int q : gates[static_cast<std::size_t>(i)]->qubits()) {
-        last_on[static_cast<std::size_t>(q)] = i;
-      }
-    }
-  }
-  return changed;
-}
-
-}  // namespace
 
 Circuit optimize(const Circuit& circuit, const OptimizerOptions& options,
                  OptimizerStats* stats) {
-  std::vector<std::optional<Gate>> gates;
-  gates.reserve(circuit.size());
-  for (const Gate& g : circuit.gates()) gates.emplace_back(g);
-
-  int passes = 0;
-  while (passes < options.max_passes &&
-         sweep(gates, options, circuit.num_qubits())) {
-    ++passes;
-  }
-
-  Circuit out(circuit.num_qubits());
-  for (const auto& g : gates) {
-    if (g.has_value()) out.append(*g);
-  }
+  PipelineOptions pipeline;
+  pipeline.level = OptLevel::kO1;
+  pipeline.pass.angle_epsilon = options.angle_epsilon;
+  pipeline.max_iterations = options.max_passes;
+  PipelineReport report;
+  Circuit out = PassPipeline(pipeline).run(circuit, &report);
   if (stats != nullptr) {
-    stats->gates_before = circuit.size();
-    stats->gates_after = out.size();
+    stats->gates_before = report.gates_before;
+    stats->gates_after = report.gates_after;
     stats->cnots_removed = circuit.cnot_cost() - out.cnot_cost();
-    stats->passes = passes;
+    stats->passes = report.iterations;
   }
   return out;
 }

@@ -1,10 +1,13 @@
 #pragma once
-// Peephole circuit optimizer for lowered circuits: removes the local
-// redundancies that composition of synthesis stages leaves behind
-// (zero rotations, adjacent self-inverse pairs, fusible rotations).
-// Used by the workflow before final counting; sound for any circuit.
+// Legacy peephole entry point, kept for source compatibility. The
+// optimizer is now the registered-pass pipeline (pass_pipeline.hpp);
+// optimize() runs it at OptLevel::kO1, which reproduces the historical
+// cleanup exactly (dead rotations, wire-adjacent cancellation/fusion).
+// New code should use optimize_circuit() / PassPipeline directly, which
+// expose -O levels, per-pass reports and the debug verification hook.
 
 #include "circuit/circuit.hpp"
+#include "circuit/pass_pipeline.hpp"
 
 namespace qsp {
 
@@ -22,13 +25,8 @@ struct OptimizerStats {
   int passes = 0;
 };
 
-/// Apply peephole rules until fixpoint:
-///  * drop Ry(theta ~ 0) and empty rotations;
-///  * cancel adjacent X-X and identical CNOT-CNOT pairs (adjacency on the
-///    touched wires, not in the raw list);
-///  * fuse adjacent Ry rotations on the same wire (angles add; a fused
-///    zero drops).
-/// The rewritten circuit implements the same unitary.
+/// Run the pass pipeline at O1 until fixpoint (capped at max_passes
+/// productive sweeps). The rewritten circuit implements the same unitary.
 Circuit optimize(const Circuit& circuit, const OptimizerOptions& options = {},
                  OptimizerStats* stats = nullptr);
 

@@ -1,0 +1,85 @@
+#include "circuit/pass.hpp"
+
+namespace qsp {
+namespace {
+
+/// How a gate acts on one of its wires, for the commutation test.
+enum class WireRole {
+  kNone,      ///< gate does not touch the wire
+  kDiagonal,  ///< control literal, or any wire of Rz/UCRz (diagonal ops)
+  kXAction,   ///< Pauli-X on the wire (target of X/CNOT)
+  kRyAction,  ///< y-rotation on the wire (target of Ry/CRy/MCRy/UCRy)
+};
+
+bool is_control_wire(const Gate& g, int wire) {
+  for (const ControlLiteral& c : g.controls()) {
+    if (c.qubit == wire) return true;
+  }
+  return false;
+}
+
+WireRole role_on(const Gate& g, int wire) {
+  switch (g.kind()) {
+    case GateKind::kRz:
+      return wire == g.target() ? WireRole::kDiagonal : WireRole::kNone;
+    case GateKind::kUCRz:
+      // Diagonal on every wire it touches: pattern controls select which
+      // phase lands on the target, and the target action is diagonal too.
+      if (wire == g.target() || is_control_wire(g, wire)) {
+        return WireRole::kDiagonal;
+      }
+      return WireRole::kNone;
+    case GateKind::kX:
+      return wire == g.target() ? WireRole::kXAction : WireRole::kNone;
+    case GateKind::kCNOT:
+      if (wire == g.target()) return WireRole::kXAction;
+      if (is_control_wire(g, wire)) return WireRole::kDiagonal;
+      return WireRole::kNone;
+    case GateKind::kRy:
+    case GateKind::kCRy:
+    case GateKind::kMCRy:
+    case GateKind::kUCRy:
+      if (wire == g.target()) return WireRole::kRyAction;
+      if (is_control_wire(g, wire)) return WireRole::kDiagonal;
+      return WireRole::kNone;
+  }
+  return WireRole::kNone;
+}
+
+}  // namespace
+
+std::string opt_level_name(OptLevel level) {
+  switch (level) {
+    case OptLevel::kO0:
+      return "O0";
+    case OptLevel::kO1:
+      return "O1";
+    case OptLevel::kO2:
+      return "O2";
+  }
+  return "O?";
+}
+
+bool gates_commute(const Gate& a, const Gate& b) {
+  // Each gate has at most one non-diagonal wire (its target), so checking
+  // mode compatibility per shared wire is sufficient: within every shared
+  // diagonal block the residual actions are same-type single-qubit
+  // operators on the one shared action wire (X with X, or same-axis Ry
+  // with Ry), which commute, and everything else lives on disjoint wires.
+  for (const int w : a.qubits()) {
+    const WireRole rb = role_on(b, w);
+    if (rb == WireRole::kNone) continue;  // wire not shared
+    const WireRole ra = role_on(a, w);
+    if (ra == WireRole::kDiagonal && rb == WireRole::kDiagonal) continue;
+    if (ra == WireRole::kXAction && rb == WireRole::kXAction) continue;
+    if (ra == WireRole::kRyAction && rb == WireRole::kRyAction) continue;
+    // Mixed modes on a shared wire: one gate rewrites the value the other
+    // reads (the MCRy-control trap: a CNOT *targeting* an MCRy control
+    // wire), or the single-qubit actions differ in axis. Not provably
+    // commuting — report false.
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qsp

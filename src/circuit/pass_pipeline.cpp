@@ -1,0 +1,452 @@
+#include "circuit/pass_pipeline.hpp"
+
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/cost_model.hpp"
+#include "phase/complex_statevector.hpp"
+#include "sim/statevector.hpp"
+
+namespace qsp {
+namespace {
+
+bool is_trivial_rotation(const Gate& g, double eps) {
+  switch (g.kind()) {
+    case GateKind::kRy:
+    case GateKind::kCRy:
+    case GateKind::kMCRy:
+    case GateKind::kRz:
+      return std::abs(g.theta()) <= eps;
+    case GateKind::kUCRy:
+    case GateKind::kUCRz: {
+      for (const double a : g.angles()) {
+        if (std::abs(a) > eps) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool is_rotation_kind(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRy:
+    case GateKind::kCRy:
+    case GateKind::kMCRy:
+    case GateKind::kRz:
+    case GateKind::kUCRy:
+    case GateKind::kUCRz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Same kind on the same wires (target, controls with polarity): the
+/// precondition for cancelling or fusing a gate pair.
+bool same_kind_and_wires(const Gate& a, const Gate& b) {
+  return a.kind() == b.kind() && a.target() == b.target() &&
+         a.controls() == b.controls();
+}
+
+/// The fused rotation p+g (same kind and wires); angles add.
+Gate fuse_rotations(const Gate& p, const Gate& g) {
+  switch (g.kind()) {
+    case GateKind::kRz:
+      return Gate::rz(g.target(), p.theta() + g.theta());
+    case GateKind::kRy:
+    case GateKind::kCRy:
+    case GateKind::kMCRy:
+      return Gate::mcry(g.controls(), g.target(), p.theta() + g.theta());
+    case GateKind::kUCRy:
+    case GateKind::kUCRz: {
+      std::vector<double> sum = g.angles();
+      for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += p.angles()[j];
+      std::vector<int> controls;
+      controls.reserve(g.controls().size());
+      for (const auto& c : g.controls()) controls.push_back(c.qubit);
+      return g.kind() == GateKind::kUCRz
+                 ? Gate::ucrz(std::move(controls), g.target(), std::move(sum))
+                 : Gate::ucry(std::move(controls), g.target(), std::move(sum));
+    }
+    default:
+      throw std::logic_error("fuse_rotations: not a rotation");
+  }
+}
+
+/// Sparse gate list used by the in-place passes: erased slots stay so gate
+/// indices remain stable within one scan.
+using Slots = std::vector<std::optional<Gate>>;
+
+Slots to_slots(const Circuit& circuit) {
+  Slots slots;
+  slots.reserve(circuit.size());
+  for (const Gate& g : circuit.gates()) slots.emplace_back(g);
+  return slots;
+}
+
+void from_slots(Circuit& circuit, const Slots& slots) {
+  Circuit out(circuit.num_qubits());
+  for (const auto& g : slots) {
+    if (g.has_value()) out.append(*g);
+  }
+  circuit = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// dead-rotation: drop rotations that are the identity (all angles ~ 0).
+// ---------------------------------------------------------------------------
+class DeadRotationPass final : public Pass {
+ public:
+  std::string_view name() const override { return "dead-rotation"; }
+  unsigned preserves() const override { return kPreservesAll; }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    bool changed = false;
+    Circuit out(circuit.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+      if (is_trivial_rotation(g, options.angle_epsilon)) {
+        changed = true;
+        continue;
+      }
+      out.append(g);
+    }
+    if (changed) circuit = std::move(out);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// adjacent-fuse: cancel self-inverse pairs (X-X, identical CNOT-CNOT) and
+// fuse same-kind rotation pairs that are adjacent on every touched wire
+// (the conservative legacy cleanup: a pair is mergeable iff the earlier
+// gate is the latest survivor on *all* of the later gate's wires, so the
+// gates in between touch disjoint wires and commute trivially).
+// ---------------------------------------------------------------------------
+class AdjacentFusePass final : public Pass {
+ public:
+  std::string_view name() const override { return "adjacent-fuse"; }
+  unsigned preserves() const override { return kPreservesAll; }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    Slots slots = to_slots(circuit);
+    bool changed = false;
+    // last_on[q]: index of the latest surviving gate touching wire q.
+    std::vector<int> last_on(static_cast<std::size_t>(circuit.num_qubits()),
+                             -1);
+    auto erase = [&](int idx) {
+      slots[static_cast<std::size_t>(idx)].reset();
+      changed = true;
+    };
+
+    for (int i = 0; i < static_cast<int>(slots.size()); ++i) {
+      if (!slots[static_cast<std::size_t>(i)].has_value()) continue;
+      const Gate& g = *slots[static_cast<std::size_t>(i)];
+
+      // Candidate predecessor: the pair is wire-adjacent iff the same
+      // gate is the latest survivor on every touched wire.
+      int prev = -1;
+      bool adjacent = true;
+      for (const int q : g.qubits()) {
+        const int lq = last_on[static_cast<std::size_t>(q)];
+        if (prev == -1) prev = lq;
+        if (lq != prev) adjacent = false;
+        prev = std::max(prev, lq);
+      }
+      if (adjacent && prev >= 0 &&
+          slots[static_cast<std::size_t>(prev)].has_value()) {
+        const Gate& p = *slots[static_cast<std::size_t>(prev)];
+        if (same_kind_and_wires(p, g)) {
+          if (g.kind() == GateKind::kX || g.kind() == GateKind::kCNOT) {
+            erase(prev);
+            erase(i);
+            continue;
+          }
+          if (is_rotation_kind(g.kind())) {
+            const Gate fused = fuse_rotations(p, g);
+            erase(prev);
+            erase(i);
+            if (!is_trivial_rotation(fused, options.angle_epsilon)) {
+              slots[static_cast<std::size_t>(i)] = fused;
+            } else {
+              continue;
+            }
+          }
+        }
+      }
+      if (slots[static_cast<std::size_t>(i)].has_value()) {
+        for (const int q : slots[static_cast<std::size_t>(i)]->qubits()) {
+          last_on[static_cast<std::size_t>(q)] = i;
+        }
+      }
+    }
+    if (changed) from_slots(circuit, slots);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// cnot-commute-fold: cancel self-inverse pairs (X, CNOT) separated by
+// gates that provably commute with them. Walking a CNOT backward past a
+// commuting gate is sound exactly when gates_commute says so — the
+// MCRy-control case (a CNOT targeting a wire some MCRy reads) is the
+// non-commuting trap the predicate pins down.
+// ---------------------------------------------------------------------------
+class CnotCommuteFoldPass final : public Pass {
+ public:
+  std::string_view name() const override { return "cnot-commute-fold"; }
+  unsigned preserves() const override { return kPreservesAll; }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    Slots slots = to_slots(circuit);
+    bool changed = false;
+    for (int i = 0; i < static_cast<int>(slots.size()); ++i) {
+      if (!slots[static_cast<std::size_t>(i)].has_value()) continue;
+      const Gate& g = *slots[static_cast<std::size_t>(i)];
+      if (g.kind() != GateKind::kX && g.kind() != GateKind::kCNOT) continue;
+      int window = 0;
+      for (int j = i - 1; j >= 0; --j) {
+        if (!slots[static_cast<std::size_t>(j)].has_value()) continue;
+        const Gate& p = *slots[static_cast<std::size_t>(j)];
+        if (p == g) {
+          // g commutes with everything in (j, i): slide it next to p and
+          // cancel the self-inverse pair.
+          slots[static_cast<std::size_t>(j)].reset();
+          slots[static_cast<std::size_t>(i)].reset();
+          changed = true;
+          break;
+        }
+        if (!gates_commute(g, p)) break;
+        if (++window >= options.commute_window) break;
+      }
+    }
+    if (changed) from_slots(circuit, slots);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// rotation-commute-merge: fuse same-kind, same-wire rotation pairs
+// separated by commuting gates (angles add; a fused identity drops). This
+// merges rotations across control structure the adjacency-based pass
+// cannot see — e.g. Rz(q) across a CNOT controlled on q, or a CRy across
+// a CNOT that only reads the shared control wire.
+// ---------------------------------------------------------------------------
+class RotationCommuteMergePass final : public Pass {
+ public:
+  std::string_view name() const override { return "rotation-commute-merge"; }
+  unsigned preserves() const override { return kPreservesAll; }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    Slots slots = to_slots(circuit);
+    bool changed = false;
+    for (int i = 0; i < static_cast<int>(slots.size()); ++i) {
+      if (!slots[static_cast<std::size_t>(i)].has_value()) continue;
+      const Gate& g = *slots[static_cast<std::size_t>(i)];
+      if (!is_rotation_kind(g.kind())) continue;
+      int window = 0;
+      for (int j = i - 1; j >= 0; --j) {
+        if (!slots[static_cast<std::size_t>(j)].has_value()) continue;
+        const Gate& p = *slots[static_cast<std::size_t>(j)];
+        if (same_kind_and_wires(p, g)) {
+          // g commutes with everything in (j, i): slide it back onto p
+          // and fuse in place.
+          const Gate fused = fuse_rotations(p, g);
+          slots[static_cast<std::size_t>(i)].reset();
+          if (is_trivial_rotation(fused, options.angle_epsilon)) {
+            slots[static_cast<std::size_t>(j)].reset();
+          } else {
+            slots[static_cast<std::size_t>(j)] = fused;
+          }
+          changed = true;
+          break;
+        }
+        if (!gates_commute(g, p)) break;
+        if (++window >= options.commute_window) break;
+      }
+    }
+    if (changed) from_slots(circuit, slots);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Verification hook: preparation-equivalence check after a pass.
+// ---------------------------------------------------------------------------
+
+bool has_phase_gates(const Circuit& circuit) {
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind() == GateKind::kRz || g.kind() == GateKind::kUCRz) return true;
+  }
+  return false;
+}
+
+/// |<before|after>| of the two prepared states from |0...0>, conjugate
+/// inner product (phased states score correctly on the complex path).
+double preparation_overlap(const Circuit& before, const Circuit& after) {
+  const int n = before.num_qubits();
+  if (has_phase_gates(before) || has_phase_gates(after)) {
+    ComplexStatevector a(n);
+    ComplexStatevector b(n);
+    a.apply(before);
+    b.apply(after);
+    std::complex<double> ip = 0.0;
+    for (std::size_t i = 0; i < a.amplitudes().size(); ++i) {
+      ip += std::conj(a.amplitudes()[i]) * b.amplitudes()[i];
+    }
+    return std::abs(ip);
+  }
+  Statevector a(n);
+  Statevector b(n);
+  a.apply(before);
+  b.apply(after);
+  return std::abs(a.inner_product(b));
+}
+
+std::set<GateKind> gate_kinds(const Circuit& circuit) {
+  std::set<GateKind> kinds;
+  for (const Gate& g : circuit.gates()) kinds.insert(g.kind());
+  return kinds;
+}
+
+[[noreturn]] void contract_violation(const Pass& pass, const std::string& what) {
+  std::ostringstream os;
+  os << "PassPipeline: pass '" << pass.name() << "' violated its contract: "
+     << what;
+  throw std::logic_error(os.str());
+}
+
+/// Debug re-verification of one pass application against the declared
+/// preserves() contract: preparation equivalence (simulated), monotone
+/// cost, and gate-set membership.
+void verify_pass_application(const Pass& pass, const Circuit& before,
+                             const Circuit& after,
+                             const PipelineOptions& options) {
+  if (after.size() > before.size()) {
+    contract_violation(pass, "gate count increased");
+  }
+  if (after.cnot_cost() > before.cnot_cost()) {
+    contract_violation(pass, "CNOT cost increased");
+  }
+  if ((pass.preserves() & kPreservesGateSet) != 0) {
+    const std::set<GateKind> kb = gate_kinds(before);
+    for (const GateKind k : gate_kinds(after)) {
+      if (kb.find(k) == kb.end()) {
+        contract_violation(pass, "introduced a new gate kind");
+      }
+    }
+  }
+  if ((pass.preserves() & kPreservesPreparation) != 0 &&
+      before.num_qubits() <= options.verify_max_qubits) {
+    const double overlap = preparation_overlap(before, after);
+    if (std::abs(overlap - 1.0) > options.verify_tolerance) {
+      std::ostringstream os;
+      os << "preparation changed (overlap " << overlap << ")";
+      contract_violation(pass, os.str());
+    }
+  }
+}
+
+}  // namespace
+
+PassPipeline::PassPipeline(PipelineOptions options)
+    : options_(options), passes_(level_passes(options.level)) {}
+
+PassPipeline::PassPipeline(std::vector<const Pass*> passes,
+                           PipelineOptions options)
+    : options_(options), passes_(std::move(passes)) {}
+
+const std::vector<const Pass*>& PassPipeline::registry() {
+  static const DeadRotationPass dead_rotation;
+  static const AdjacentFusePass adjacent_fuse;
+  static const CnotCommuteFoldPass cnot_commute_fold;
+  static const RotationCommuteMergePass rotation_commute_merge;
+  static const std::vector<const Pass*> passes = {
+      &dead_rotation,
+      &adjacent_fuse,
+      &cnot_commute_fold,
+      &rotation_commute_merge,
+  };
+  return passes;
+}
+
+const Pass* PassPipeline::find(std::string_view name) {
+  for (const Pass* pass : registry()) {
+    if (pass->name() == name) return pass;
+  }
+  return nullptr;
+}
+
+std::vector<const Pass*> PassPipeline::level_passes(OptLevel level) {
+  std::vector<const Pass*> out;
+  if (level == OptLevel::kO0) return out;
+  out.push_back(find("dead-rotation"));
+  out.push_back(find("adjacent-fuse"));
+  if (level == OptLevel::kO2) {
+    out.push_back(find("cnot-commute-fold"));
+    out.push_back(find("rotation-commute-merge"));
+  }
+  return out;
+}
+
+Circuit PassPipeline::run(const Circuit& circuit,
+                          PipelineReport* report) const {
+  Circuit current = circuit;
+  if (report != nullptr) {
+    *report = PipelineReport{};
+    report->gates_before = circuit.size();
+    report->depth_before = circuit.depth();
+    report->cnot_cost_before = circuit.cnot_cost();
+  }
+  // Every productive pass application strictly decreases the gate count
+  // (passes only erase or fuse), so size() + 1 iterations always reach
+  // the fixed point; max_iterations is an additional explicit cap.
+  const int cap = options_.max_iterations > 0
+                      ? options_.max_iterations
+                      : static_cast<int>(circuit.size()) + 1;
+  int iterations = 0;
+  for (int iter = 0; iter < cap; ++iter) {
+    bool iteration_changed = false;
+    for (const Pass* pass : passes_) {
+      PassReport pr;
+      pr.pass = std::string(pass->name());
+      pr.gates_before = current.size();
+      pr.depth_before = current.depth();
+      pr.cnot_cost_before = current.cnot_cost();
+      std::optional<Circuit> before;
+      if (options_.verify_each_pass) before = current;
+      const bool changed = pass->run(current, options_.pass);
+      pr.changed = changed;
+      pr.gates_after = current.size();
+      pr.depth_after = current.depth();
+      pr.cnot_cost_after = current.cnot_cost();
+      if (changed && options_.verify_each_pass) {
+        verify_pass_application(*pass, *before, current, options_);
+      }
+      if (report != nullptr) report->passes.push_back(std::move(pr));
+      iteration_changed |= changed;
+    }
+    if (!iteration_changed) break;
+    ++iterations;
+  }
+  if (report != nullptr) {
+    report->iterations = iterations;
+    report->gates_after = current.size();
+    report->depth_after = current.depth();
+    report->cnot_cost_after = current.cnot_cost();
+  }
+  return current;
+}
+
+Circuit optimize_circuit(const Circuit& circuit, const PipelineOptions& options,
+                         PipelineReport* report) {
+  return PassPipeline(options).run(circuit, report);
+}
+
+}  // namespace qsp

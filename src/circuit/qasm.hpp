@@ -1,6 +1,9 @@
 #pragma once
-// OpenQASM 2.0 export. Circuits are lowered to {X, Ry, CNOT} first so the
-// output uses only `x`, `ry` and `cx`.
+// OpenQASM 2.0 export and import. Circuits are lowered to {X, Ry, CNOT}
+// (plus the phase extension's Rz) before emission so the output uses only
+// `x`, `ry`, `rz` and `cx`; from_qasm() parses exactly that emitted
+// subset back into a Circuit, so emit -> parse is the identity on lowered
+// gate lists (property-tested over the random-circuit corpus).
 
 #include <string>
 
@@ -12,5 +15,13 @@ namespace qsp {
 /// Serialize as an OpenQASM 2.0 program over register q[num_qubits].
 std::string to_qasm(const Circuit& circuit,
                     const LoweringOptions& options = {});
+
+/// Parse the OpenQASM 2.0 subset emitted by to_qasm: one `qreg q[n];`
+/// declaration and `x`/`ry`/`rz`/`cx` statements over it (OPENQASM /
+/// include headers and `//` comments are skipped). Angles are read with
+/// full double precision, so to_qasm -> from_qasm reproduces the lowered
+/// gate list exactly. Throws std::invalid_argument on anything outside
+/// the subset, with the offending line in the message.
+Circuit from_qasm(const std::string& qasm);
 
 }  // namespace qsp

@@ -1,7 +1,6 @@
 #include "flow/methods.hpp"
 
 #include "circuit/lowering.hpp"
-#include "circuit/optimizer.hpp"
 #include "prep/hybrid.hpp"
 #include "prep/mflow.hpp"
 #include "prep/nflow.hpp"
@@ -70,8 +69,9 @@ MethodRun run_method(Method method, const QuantumState& target,
       if (res.found) {
         LoweringOptions lowering;
         lowering.elide_zero_rotations = true;
-        // Peephole cleanup of the stitched stages before counting.
-        run.circuit = optimize(res.circuit);
+        // Solver::prepare already ran the pass pipeline on the stitched
+        // stages (WorkflowOptions::opt_level), so count it as-is.
+        run.circuit = res.circuit;
         run.cnots = count_cnots_after_lowering(run.circuit, lowering);
         run.ok = true;
       }

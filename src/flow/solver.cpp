@@ -165,10 +165,14 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   // Device register width; equals n when no coupling is set.
   const int nw = device != nullptr ? device->num_qubits() : n;
   // Route the assembled workflow circuit onto the device so the result
-  // satisfies respects_coupling (CNOTs on edges, composites lowered).
+  // satisfies respects_coupling (CNOTs on edges, composites lowered),
+  // then run the pass pipeline at the requested -O level. The pipeline
+  // only removes or fuses gates in place, so routed circuits stay routed.
   const auto routed_onto_device = [&](Circuit circuit) {
-    if (device == nullptr) return circuit;
-    return route_circuit(circuit, *device);
+    if (device != nullptr) circuit = route_circuit(circuit, *device);
+    PipelineOptions pipeline;
+    pipeline.level = options_.opt_level;
+    return optimize_circuit(circuit, pipeline, &result.passes);
   };
   // Selection metric for competing tails/paths: lowered CNOT count,
   // measured after routing when a device is set — a tail with fewer

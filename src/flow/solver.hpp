@@ -8,6 +8,7 @@
 
 #include "arch/coupling.hpp"
 #include "circuit/circuit.hpp"
+#include "circuit/pass_pipeline.hpp"
 #include "core/exact_synthesizer.hpp"
 #include "prep/mflow.hpp"
 #include "state/quantum_state.hpp"
@@ -72,6 +73,14 @@ struct WorkflowOptions {
   /// the same class are deduplicated in flight. nullptr = one-shot
   /// behavior, unchanged.
   std::shared_ptr<SearchCache> cache;
+  /// Pass-pipeline level applied to the assembled workflow circuit before
+  /// prepare() returns (see circuit/pass_pipeline.hpp). O1 reproduces the
+  /// historical peephole cleanup; O2 adds the commutation-aware folds;
+  /// O0 returns the raw stitched stages. Per-pass accounting lands in
+  /// WorkflowResult::passes. The pipeline preserves the prepared state,
+  /// coupling conformance and gate-set membership, so routed outputs stay
+  /// routed and verification is unaffected.
+  OptLevel opt_level = OptLevel::kO1;
 
   WorkflowOptions() {
     mflow.strategy = MFlowOptions::PairStrategy::kCheapest;
@@ -107,6 +116,9 @@ struct WorkflowResult {
   /// ancillas returning to |0>) and the circuit is routed: only 1-qubit
   /// gates and CNOTs on device edges.
   Circuit circuit{1};
+  /// Accounting of the pass pipeline run on `circuit` at
+  /// WorkflowOptions::opt_level (empty at O0 / when nothing ran).
+  PipelineReport passes;
 };
 
 class Solver {

@@ -79,6 +79,9 @@ void SynthesisService::worker_loop() {
       if (options_.share_cache && options.cache == nullptr) {
         options.cache = cache_;
       }
+      if (options_.opt_level.has_value()) {
+        options.opt_level = *options_.opt_level;
+      }
       const Timer timer;
       const Solver solver(options);
       ServiceResponse response;

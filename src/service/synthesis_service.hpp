@@ -19,6 +19,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -36,6 +37,12 @@ struct SynthesisServiceOptions {
   /// Inject the service cache into every request whose WorkflowOptions
   /// does not already carry one. Off, the service is a plain worker pool.
   bool share_cache = true;
+  /// Service-wide pass-pipeline level. When set, overrides every
+  /// request's WorkflowOptions::opt_level — a deployment knob (e.g. run
+  /// the whole fleet at O2, or disable cleanup at O0 for debugging)
+  /// without touching per-request options. Unset: requests keep their
+  /// own level.
+  std::optional<OptLevel> opt_level;
 };
 
 struct ServiceRequest {

@@ -56,6 +56,36 @@ TEST(Circuit, CnotCostUsesTableOne) {
   EXPECT_EQ(c.cnot_cost(), 11);
 }
 
+TEST(Circuit, DepthIsZeroWhenEmpty) {
+  EXPECT_EQ(Circuit(3).depth(), 0u);
+}
+
+TEST(Circuit, DepthPacksDisjointWiresIntoOneLayer) {
+  Circuit c(4);
+  c.append(Gate::ry(0, 0.1));
+  c.append(Gate::ry(1, 0.2));
+  c.append(Gate::cnot(2, 3));
+  EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(Circuit, DepthStacksSharedWires) {
+  Circuit c(3);
+  c.append(Gate::cnot(0, 1));  // layer 1
+  c.append(Gate::cnot(1, 2));  // layer 2 (shares wire 1)
+  c.append(Gate::ry(0, 0.3));  // layer 2 (wire 0 free after layer 1)
+  c.append(Gate::x(2));        // layer 3
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, DepthCountsControlWires) {
+  Circuit c(4);
+  c.append(Gate::mcry({ControlLiteral{0, true}, ControlLiteral{1, true}}, 2,
+                      0.4));
+  c.append(Gate::ry(3, 0.1));  // disjoint: same layer
+  c.append(Gate::x(1));        // control wire busy: next layer
+  EXPECT_EQ(c.depth(), 2u);
+}
+
 TEST(Circuit, GateCounts) {
   const Circuit c = small_circuit();
   const auto counts = c.gate_counts();

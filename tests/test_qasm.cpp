@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "arch/coupling.hpp"
+#include "arch/routing.hpp"
+#include "pass_test_util.hpp"
+#include "util/rng.hpp"
+
 namespace qsp {
 namespace {
 
@@ -38,6 +45,61 @@ TEST(Qasm, CompositeGatesAreLowered) {
     ++cx;
   }
   EXPECT_EQ(cx, 4);
+}
+
+// Satellite property: emit -> parse is the identity on the lowered gate
+// list, across the whole random-circuit corpus. Angles are emitted at
+// precision 17, so even the parsed doubles must match bit-for-bit.
+TEST(Qasm, EmitParseRoundtripIsIdentityOnCorpus) {
+  for (const Circuit& circuit : test::random_circuit_corpus()) {
+    const Circuit lowered = lower(circuit);
+    const Circuit parsed = from_qasm(to_qasm(circuit));
+    ASSERT_EQ(parsed.num_qubits(), lowered.num_qubits());
+    ASSERT_EQ(parsed.size(), lowered.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      EXPECT_EQ(parsed.gates()[i], lowered.gates()[i])
+          << "gate " << i << ": " << parsed.gates()[i].to_string() << " vs "
+          << lowered.gates()[i].to_string();
+    }
+  }
+}
+
+TEST(Qasm, RoundtripCoversRoutedDeviceRegisters) {
+  const CouplingGraph device = CouplingGraph::line(5);
+  Rng rng(0x9A5);
+  for (int i = 0; i < 4; ++i) {
+    const Circuit circuit = test::random_coupled_circuit(device, 40, rng);
+    const Circuit routed = route_circuit(circuit, device);
+    const Circuit parsed = from_qasm(to_qasm(routed));
+    EXPECT_EQ(parsed, lower(routed));
+    EXPECT_TRUE(respects_coupling(parsed, device));
+  }
+}
+
+TEST(Qasm, FromQasmRejectsMalformedInput) {
+  EXPECT_THROW(from_qasm("x q[0];\n"), std::invalid_argument);  // no qreg
+  EXPECT_THROW(from_qasm("qreg q[0];\n"), std::invalid_argument);
+  EXPECT_THROW(from_qasm("qreg q[2];\nh q[0];\n"), std::invalid_argument);
+  EXPECT_THROW(from_qasm("qreg q[2];\nx q[0]\n"), std::invalid_argument);
+  EXPECT_THROW(from_qasm("qreg q[2];\nry() q[0];\n"), std::invalid_argument);
+  EXPECT_THROW(from_qasm("qreg q[2];\nqreg q[2];\n"), std::invalid_argument);
+  EXPECT_THROW(from_qasm(""), std::invalid_argument);
+  // Out-of-register references are rejected by the circuit itself.
+  EXPECT_THROW(from_qasm("qreg q[2];\nx q[5];\n"), std::invalid_argument);
+}
+
+TEST(Qasm, FromQasmSkipsHeadersAndComments) {
+  const Circuit parsed = from_qasm(
+      "// a comment\n"
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[2];\n"
+      "x q[0]; // trailing comment\n"
+      "cx q[0],q[1];\n"
+      "\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.gates()[0], Gate::x(0));
+  EXPECT_EQ(parsed.gates()[1], Gate::cnot(0, 1));
 }
 
 TEST(Qasm, NegativeControlUsesXConjugation) {

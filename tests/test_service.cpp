@@ -72,6 +72,33 @@ TEST(SynthesisService, WarmBatchIsBitIdenticalToCold) {
   EXPECT_GT(warm_stats.hits, cold_stats.hits);
 }
 
+TEST(SynthesisService, ServiceOptLevelOverridesRequests) {
+  // A service pinned to O0 must ignore the per-request level: no pass
+  // applications are reported. An unpinned service honors the request's
+  // default O1 and reports the pipeline's work.
+  SynthesisServiceOptions pinned;
+  pinned.num_workers = 1;
+  pinned.opt_level = OptLevel::kO0;
+  SynthesisService service_o0(pinned);
+  WorkflowOptions wants_o2;
+  wants_o2.opt_level = OptLevel::kO2;
+  const ServiceResponse raw =
+      service_o0.submit(request_for(make_w(4), wants_o2)).get();
+  ASSERT_TRUE(raw.result.found);
+  EXPECT_TRUE(raw.result.passes.passes.empty());
+  EXPECT_EQ(raw.result.passes.gates_delta(), 0);
+
+  SynthesisService service_default{SynthesisServiceOptions{}};
+  const ServiceResponse cleaned =
+      service_default.submit(request_for(make_w(4))).get();
+  ASSERT_TRUE(cleaned.result.found);
+  EXPECT_FALSE(cleaned.result.passes.passes.empty());
+  EXPECT_LE(cleaned.result.circuit.cnot_cost(),
+            raw.result.circuit.cnot_cost());
+  verify_preparation_or_throw(cleaned.result.circuit, make_w(4));
+  verify_preparation_or_throw(raw.result.circuit, make_w(4));
+}
+
 TEST(SynthesisService, SameClassVariantsShareOneSearch) {
   // "Per-user variants": a permuted copy of a cached state lands in the
   // same canonical class and is served by witness rewiring.
