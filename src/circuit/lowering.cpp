@@ -130,11 +130,8 @@ std::vector<double> ucry_multiplexor_angles(const std::vector<double>& a) {
   std::vector<double> phi(slots, 0.0);
   for (std::uint32_t j = 0; j < slots; ++j) {
     const std::uint32_t g = gray_code(j);
-    double acc = 0.0;
-    for (std::uint32_t s = 0; s < slots; ++s) {
-      acc += (parity(s, g) != 0) ? -a[s] : a[s];
-    }
-    phi[j] = acc / static_cast<double>(slots);
+    phi[j] = wideops::parity_signed_sum_d(a.data(), slots, g) /
+             static_cast<double>(slots);
   }
   return phi;
 }

@@ -87,7 +87,10 @@ SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
     }
     ++result.stats.nodes_expanded;
 
-    const SlotState state = node.state;  // copy: the arena may reallocate
+    // Safe to expand by reference: NodeArena references are stable across
+    // appends, and a relax of this very class cannot rebind it mid-loop
+    // (every child has g2 = g + cost >= g, and relax requires g2 < g).
+    const SlotState& state = node.state;
     const std::int64_t g = node.g;
     for (const Move& mv : enumerate_moves(state, move_options)) {
       if (budget.deadline_expired()) break;  // child work can dominate a pop
@@ -102,6 +105,8 @@ SynthesisResult AStarSynthesizer::synthesize(const SlotState& target) const {
 
   result.stats.classes_stored = arena.size();
   result.stats.sum_shard_peak_open_size = open.peak_size();
+  result.stats.arena_blocks = arena.arena_blocks();
+  result.stats.arena_bytes_peak = arena.arena_bytes_peak();
   result.stats.seconds = timer.seconds();
   // Exiting without a completed goal pop is either an exhausted search
   // space (open ran dry — not a budget issue) or a budget abort.

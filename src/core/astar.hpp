@@ -72,6 +72,12 @@ struct SearchStats {
   /// Lazy-deletion discards: popped entries whose pushed g was already
   /// beaten by a rebind (summed over shards in the parallel kernel).
   std::uint64_t stale_pops = 0;
+  /// Allocation-pressure signals from the node arena (core/search_core):
+  /// blocks allocated and peak resident bytes (node blocks plus slot-entry
+  /// heap storage), summed over shards. Visible in micro_core JSON so
+  /// allocator wins show up next to wall time.
+  std::uint64_t arena_blocks = 0;
+  std::uint64_t arena_bytes_peak = 0;
   double seconds = 0.0;
   /// True if the search ran to completion (goal popped, and for the
   /// sharded kernel: certified against every shard's frontier) within

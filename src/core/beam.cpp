@@ -57,7 +57,9 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
   // always absorbed into the equivalence classes.
   move_options.include_zero_cost = false;
 
-  std::vector<SearchNode> nodes;
+  // Chunked arena: stable references let the expansion loop borrow the
+  // parent state instead of copying it, and blocks/bytes feed SearchStats.
+  NodeArena nodes;
   // Best g seen per class across all levels, to prevent revisits. The
   // beam keeps every improved node (no rebinding): truncated ancestors
   // must stay intact for path reconstruction.
@@ -67,8 +69,8 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
   // heuristic against the device when a coupling is set.
   auto h_of = search_heuristic(options_.heuristic, options_.coupling.get());
 
-  nodes.push_back(SearchNode{target, 0, h_of(target),
-                             SearchNode::kNoParent, Move{}});
+  nodes.append(SearchNode{target, 0, h_of(target),
+                          SearchNode::kNoParent, Move{}});
   best_g.emplace(canonical_key(target, level), 0);
 
   std::vector<std::int64_t> beam{0};
@@ -104,8 +106,10 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
         break;
       }
       const std::int64_t id = beam[pos];
-      const SlotState state = nodes[static_cast<std::size_t>(id)].state;
-      const std::int64_t g = nodes[static_cast<std::size_t>(id)].g;
+      // Borrowed, not copied: the arena only appends during a level, and
+      // NodeArena references are stable across appends.
+      const SlotState& state = nodes.node(id).state;
+      const std::int64_t g = nodes.node(id).g;
       std::uint64_t move_index = 0;
       for (const Move& mv : enumerate_moves(state, move_options)) {
         const std::uint64_t seq = beam_seq(pos, move_index++);
@@ -148,18 +152,18 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
       }
       const std::int64_t h = h_of(pending.state);
       const int cardinality = pending.state.cardinality();
-      const auto node_id = static_cast<std::int64_t>(nodes.size());
-      nodes.push_back(SearchNode{std::move(pending.state), pending.g2, h,
-                                 pending.parent, pending.via});
+      const std::int64_t node_id =
+          nodes.append(SearchNode{std::move(pending.state), pending.g2, h,
+                                  pending.parent, pending.via});
       candidates.push_back(BeamCandidate{
           beam_score(pending.g2, h, cardinality, options_.cardinality_weight),
           h, pending.g2, &it->first, node_id});
     }
     if (goal_offer.has_value() && goal_offer->g2 < goal_g) {
-      goal_id = static_cast<std::int64_t>(nodes.size());
       goal_g = goal_offer->g2;
-      nodes.push_back(SearchNode{std::move(goal_offer->state), goal_offer->g2,
-                                 0, goal_offer->parent, goal_offer->via});
+      goal_id =
+          nodes.append(SearchNode{std::move(goal_offer->state), goal_offer->g2,
+                                  0, goal_offer->parent, goal_offer->via});
     }
 
     std::sort(candidates.begin(), candidates.end(), beam_candidate_less);
@@ -178,15 +182,15 @@ SynthesisResult BeamSynthesizer::synthesize(const SlotState& target) const {
   }
 
   result.stats.classes_stored = best_g.size();
+  result.stats.arena_blocks = nodes.blocks();
+  result.stats.arena_bytes_peak = nodes.bytes_peak();
   result.stats.seconds = timer.seconds();
   if (goal_id >= 0) {
     result.found = true;
     result.optimal = false;  // beam search gives no optimality certificate
-    result.cnot_cost = nodes[static_cast<std::size_t>(goal_id)].g;
+    result.cnot_cost = nodes.node(goal_id).g;
     result.circuit = build_goal_circuit(
-        [&](std::int64_t id) -> const SearchNode& {
-          return nodes[static_cast<std::size_t>(id)];
-        },
+        [&](std::int64_t id) -> const SearchNode& { return nodes.node(id); },
         goal_id, target.num_qubits());
   }
   return result;

@@ -2,52 +2,66 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 #include "core/moves.hpp"
 #include "util/assert.hpp"
+#include "util/bitops.hpp"
 #include "util/combinatorics.hpp"
 
 namespace qsp {
 namespace {
 
+constexpr std::uint64_t kPackedCountMask = 0x00000000FFFFFFFFull;
+
 std::uint64_t pack(BasisIndex index, std::uint32_t count) {
   return (static_cast<std::uint64_t>(index) << 32) | count;
 }
 
-/// Sorted packed entry vector after XOR-translating indices by `mask`.
-CanonicalKey translated_sorted(const std::vector<SlotEntry>& entries,
-                               BasisIndex mask) {
-  CanonicalKey out;
-  out.reserve(entries.size());
-  for (const SlotEntry& e : entries) out.push_back(pack(e.index ^ mask, e.count));
-  std::sort(out.begin(), out.end());
-  return out;
+/// Entries packed as (index << 32 | count) in entry order — the base
+/// vector every translation/permutation orbit pass operates on via the
+/// wide primitives (util/bitops wideops).
+void pack_entries(const std::vector<SlotEntry>& entries, CanonicalKey& out) {
+  out.resize(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out[i] = pack(entries[i].index, entries[i].count);
+  }
 }
 
 /// Exact lex-min over all qubit permutations of an (already translated)
-/// packed entry vector. n <= 8 (guarded by util::permutations). When
-/// `argmin` is non-null it receives the first permutation achieving the
-/// minimum (the scan keeps first-best, so ties resolve deterministically).
-CanonicalKey min_over_permutations(const CanonicalKey& packed, int n,
-                                   std::vector<int>* argmin = nullptr) {
-  CanonicalKey best;
+/// packed entry vector, written into `best` (`cur` is scratch, reused by
+/// the orbit loop across candidates). n <= 8 (guarded by
+/// util::permutations). When `argmin` is non-null it receives the first
+/// permutation achieving the minimum (the scan keeps first-best, so ties
+/// resolve deterministically).
+void min_over_permutations(const CanonicalKey& packed, int n,
+                           CanonicalKey& best, CanonicalKey& cur,
+                           std::vector<int>* argmin = nullptr) {
+  best.clear();
   for (const auto& perm : permutations(n)) {
-    CanonicalKey cur;
-    cur.reserve(packed.size());
-    for (const std::uint64_t pe : packed) {
-      cur.push_back(pack(permute_bits(static_cast<BasisIndex>(pe >> 32), perm),
-                         static_cast<std::uint32_t>(pe)));
-    }
+    cur.resize(packed.size());
+    wideops::permute_high32(cur.data(), packed.data(), packed.size(),
+                            perm.data(), n);
     std::sort(cur.begin(), cur.end());
     if (best.empty() || cur < best) {
-      best = std::move(cur);
+      best.swap(cur);
       if (argmin != nullptr) *argmin = perm;
     }
   }
-  return best;
 }
+
+/// Reused buffers for greedy_perm_form: the orbit loop calls it once per
+/// support index, and before hoisting every call allocated five vectors
+/// per *step* inside it.
+struct GreedyScratch {
+  CanonicalKey work;        ///< pack(prefix, count), aligned with packed
+  CanonicalKey shifted;     ///< work with prefix << 1
+  CanonicalKey vals;        ///< shifted | extracted column q (entry order)
+  CanonicalKey vals_sorted; ///< sorted copy compared across q
+  CanonicalKey best_vals;
+  CanonicalKey best_vals_sorted;
+  std::vector<char> used;
+};
 
 /// Greedy deterministic qubit ordering: repeatedly pick the unused qubit
 /// that lexicographically minimizes the sorted partial (prefix, count)
@@ -55,51 +69,45 @@ CanonicalKey min_over_permutations(const CanonicalKey& packed, int n,
 /// not guaranteed orbit-minimal; used when n is too large for exact
 /// permutation search. When `argmin` is non-null it receives the implied
 /// permutation (the qubit picked at step s lands at bit n-1-s).
-CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n,
-                              std::vector<int>* argmin = nullptr) {
+///
+/// Bit-sliced: prefixes live in the high half of packed words, so the
+/// per-candidate partial key is one shl1_high32 (shared per step) plus
+/// one or_bit_from_high32 column extraction per qubit.
+void greedy_perm_form(const CanonicalKey& packed, int n, GreedyScratch& gs,
+                      CanonicalKey& out,
+                      std::vector<int>* argmin = nullptr) {
   const std::size_t m = packed.size();
-  std::vector<std::uint32_t> prefix(m, 0);
-  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  gs.work.resize(m);
+  for (std::size_t i = 0; i < m; ++i) gs.work[i] = packed[i] & kPackedCountMask;
+  gs.used.assign(static_cast<std::size_t>(n), 0);
   if (argmin != nullptr) argmin->assign(static_cast<std::size_t>(n), 0);
-  auto partial_key = [&](int q) {
-    CanonicalKey vals(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto index = static_cast<BasisIndex>(packed[i] >> 32);
-      const auto count = static_cast<std::uint32_t>(packed[i]);
-      vals[i] = pack((prefix[i] << 1) |
-                         static_cast<std::uint32_t>(get_bit(index, q)),
-                     count);
-    }
-    std::sort(vals.begin(), vals.end());
-    return vals;
-  };
   for (int step = 0; step < n; ++step) {
+    gs.shifted.resize(m);
+    wideops::shl1_high32(gs.shifted.data(), gs.work.data(), m);
     int best_q = -1;
-    CanonicalKey best_vals;
     for (int q = 0; q < n; ++q) {
-      if (used[static_cast<std::size_t>(q)]) continue;
-      CanonicalKey vals = partial_key(q);
-      if (best_q < 0 || vals < best_vals) {
+      if (gs.used[static_cast<std::size_t>(q)] != 0) continue;
+      gs.vals.resize(m);
+      wideops::or_bit_from_high32(gs.vals.data(), gs.shifted.data(),
+                                  packed.data(), m, q);
+      gs.vals_sorted.assign(gs.vals.begin(), gs.vals.end());
+      std::sort(gs.vals_sorted.begin(), gs.vals_sorted.end());
+      if (best_q < 0 || gs.vals_sorted < gs.best_vals_sorted) {
         best_q = q;
-        best_vals = std::move(vals);
+        gs.best_vals_sorted.swap(gs.vals_sorted);
+        gs.best_vals.swap(gs.vals);  // keep the entry-order form too
       }
     }
-    used[static_cast<std::size_t>(best_q)] = true;
+    gs.used[static_cast<std::size_t>(best_q)] = 1;
     if (argmin != nullptr) {
       (*argmin)[static_cast<std::size_t>(best_q)] = n - 1 - step;
     }
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto index = static_cast<BasisIndex>(packed[i] >> 32);
-      prefix[i] = (prefix[i] << 1) |
-                  static_cast<std::uint32_t>(get_bit(index, best_q));
-    }
+    // The winner's entry-order column extraction IS the next prefix
+    // vector — no per-entry recomputation.
+    gs.work.swap(gs.best_vals);
   }
-  CanonicalKey out(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    out[i] = pack(prefix[i], static_cast<std::uint32_t>(packed[i]));
-  }
+  out.assign(gs.work.begin(), gs.work.end());
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 /// Ry angle realizing the free merge of separable qubit q on the
@@ -107,22 +115,29 @@ CanonicalKey greedy_perm_form(const CanonicalKey& packed, int n,
 /// (sqrt(j+k), 0), exactly the bit clear compress_free performs. A
 /// separable non-constant qubit has j > 0 and k > 0 in every rest-group
 /// (a zero on one side of any group breaks the common-ratio test), so any
-/// group determines the angle.
+/// group determines the angle. To stay bitwise stable we always use the
+/// minimal-rest group, and by separability its bit-clear member is the
+/// first entry: rest_min <= every (index & ~bit) <= every index, and
+/// rest_min is itself an entry index (j > 0), so rest_min ==
+/// entries[0].index. The bit-set member (rest_min | bit) then resolves
+/// with one binary search — no per-call rest-group map.
 double merge_angle(const SlotState& state, int q) {
   const BasisIndex bit = BasisIndex{1} << q;
-  std::map<BasisIndex, std::pair<std::uint64_t, std::uint64_t>> groups;
-  for (const SlotEntry& e : state.entries()) {
-    auto& [j, k] = groups[e.index & ~bit];
-    ((e.index & bit) == 0 ? j : k) += e.count;
-  }
-  for (const auto& [rest, jk] : groups) {
-    if (jk.second > 0) {
-      return -2.0 * std::atan2(std::sqrt(static_cast<double>(jk.second)),
-                               std::sqrt(static_cast<double>(jk.first)));
-    }
-  }
-  QSP_ASSERT(false && "merge_angle: qubit is constant, not mergeable");
-  return 0.0;
+  const std::vector<SlotEntry>& entries = state.entries();
+  QSP_ASSERT(!entries.empty());
+  const SlotEntry& clear_side = entries.front();
+  QSP_ASSERT((clear_side.index & bit) == 0 &&
+             "merge_angle: qubit is constant-1 or state not separable");
+  const BasisIndex set_index = clear_side.index | bit;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), set_index,
+      [](const SlotEntry& e, BasisIndex x) { return e.index < x; });
+  QSP_ASSERT(it != entries.end() && it->index == set_index &&
+             "merge_angle: qubit is constant, not mergeable");
+  const std::uint64_t j = clear_side.count;
+  const std::uint64_t k = it->count;
+  return -2.0 * std::atan2(std::sqrt(static_cast<double>(k)),
+                           std::sqrt(static_cast<double>(j)));
 }
 
 }  // namespace
@@ -163,31 +178,40 @@ SlotState compress_free(const SlotState& state,
 CanonicalKey canonical_key(const SlotState& state, CanonicalLevel level) {
   if (level == CanonicalLevel::kNone) {
     CanonicalKey key;
-    key.reserve(state.entries().size());
-    for (const SlotEntry& e : state.entries()) key.push_back(pack(e.index, e.count));
+    pack_entries(state.entries(), key);
     return key;
   }
   const SlotState compressed = compress_free(state);
   const int n = compressed.num_qubits();
   const bool exact_perm = level == CanonicalLevel::kPU2Exact && n <= 8;
-  const bool greedy_perm =
+  const bool greedy_perm_pass =
       level == CanonicalLevel::kPU2Greedy ||
       (level == CanonicalLevel::kPU2Exact && n > 8);
 
+  const std::vector<SlotEntry>& entries = compressed.entries();
+  // Packed once; each orbit candidate is one wide XOR pass over it.
+  CanonicalKey base;
+  pack_entries(entries, base);
+
   CanonicalKey best;
+  CanonicalKey t;
+  CanonicalKey candidate;
+  CanonicalKey scratch;
+  GreedyScratch gs;
   // Lex-minimal translated forms start with index 0, so it suffices to try
   // translations by each support index.
-  for (const SlotEntry& e : compressed.entries()) {
-    CanonicalKey t = translated_sorted(compressed.entries(), e.index);
-    CanonicalKey candidate;
+  for (const SlotEntry& e : entries) {
+    t.resize(base.size());
+    wideops::copy_xor_high32(t.data(), base.data(), base.size(), e.index);
+    std::sort(t.begin(), t.end());
     if (exact_perm) {
-      candidate = min_over_permutations(t, n);
-    } else if (greedy_perm) {
-      candidate = greedy_perm_form(t, n);
+      min_over_permutations(t, n, candidate, scratch);
+    } else if (greedy_perm_pass) {
+      greedy_perm_form(t, n, gs, candidate);
     } else {
-      candidate = std::move(t);
+      candidate.swap(t);
     }
-    if (best.empty() || candidate < best) best = std::move(candidate);
+    if (best.empty() || candidate < best) best.swap(candidate);
   }
   return best;
 }
@@ -199,38 +223,45 @@ CanonicalWitness canonical_witness(const SlotState& state,
   std::vector<int> identity(static_cast<std::size_t>(n));
   for (int q = 0; q < n; ++q) identity[static_cast<std::size_t>(q)] = q;
   if (level == CanonicalLevel::kNone) {
-    w.key.reserve(state.entries().size());
-    for (const SlotEntry& e : state.entries()) {
-      w.key.push_back(pack(e.index, e.count));
-    }
+    pack_entries(state.entries(), w.key);
     w.permutation = identity;
     return w;
   }
   const SlotState compressed = compress_free(state, &w.merge_gates);
   const bool exact_perm = level == CanonicalLevel::kPU2Exact && n <= 8;
-  const bool greedy_perm =
+  const bool greedy_perm_pass =
       level == CanonicalLevel::kPU2Greedy ||
       (level == CanonicalLevel::kPU2Exact && n > 8);
+
+  const std::vector<SlotEntry>& entries = compressed.entries();
+  CanonicalKey base;
+  pack_entries(entries, base);
 
   // Mirror canonical_key's candidate scan exactly (same iteration order,
   // same strict-< first-best tie break) so the two stay bit-identical.
   CanonicalKey best;
+  CanonicalKey t;
+  CanonicalKey candidate;
+  CanonicalKey scratch;
+  GreedyScratch gs;
+  std::vector<int> perm;
   w.permutation = identity;
-  for (const SlotEntry& e : compressed.entries()) {
-    CanonicalKey t = translated_sorted(compressed.entries(), e.index);
-    CanonicalKey candidate;
-    std::vector<int> perm = identity;
+  for (const SlotEntry& e : entries) {
+    t.resize(base.size());
+    wideops::copy_xor_high32(t.data(), base.data(), base.size(), e.index);
+    std::sort(t.begin(), t.end());
+    perm.assign(identity.begin(), identity.end());
     if (exact_perm) {
-      candidate = min_over_permutations(t, n, &perm);
-    } else if (greedy_perm) {
-      candidate = greedy_perm_form(t, n, &perm);
+      min_over_permutations(t, n, candidate, scratch, &perm);
+    } else if (greedy_perm_pass) {
+      greedy_perm_form(t, n, gs, candidate, &perm);
     } else {
-      candidate = std::move(t);
+      candidate.swap(t);
     }
     if (best.empty() || candidate < best) {
-      best = std::move(candidate);
+      best.swap(candidate);
       w.translation = e.index;
-      w.permutation = std::move(perm);
+      w.permutation = perm;
     }
   }
   w.key = std::move(best);
@@ -264,22 +295,9 @@ std::vector<Gate> free_peel_gates(SlotState& state) {
         continue;
       }
       if (!state.qubit_separable(q)) continue;
-      // Merge angle from any group with slots on both sides of qubit q:
-      // rotate (sqrt(j), sqrt(k)) onto (sqrt(j+k), 0).
-      const BasisIndex bit = BasisIndex{1} << q;
-      std::map<BasisIndex, std::pair<std::uint64_t, std::uint64_t>> groups;
-      for (const SlotEntry& e : state.entries()) {
-        auto& [j, k] = groups[e.index & ~bit];
-        ((e.index & bit) == 0 ? j : k) += e.count;
-      }
-      double theta = 0.0;
-      for (const auto& [rest, jk] : groups) {
-        if (jk.second > 0) {
-          theta = -2.0 * std::atan2(std::sqrt(static_cast<double>(jk.second)),
-                                    std::sqrt(static_cast<double>(jk.first)));
-          break;
-        }
-      }
+      // Same minimal-rest-group angle compress_free records (merge_angle
+      // used to be duplicated inline here).
+      const double theta = merge_angle(state, q);
       QSP_ASSERT(theta != 0.0);
       Move mv;
       mv.kind = MoveKind::kRotation;

@@ -12,11 +12,12 @@
 namespace qsp {
 namespace {
 
-/// Union-find over qubit ids.
+/// Union-find over qubit ids (array-backed: n <= kMaxQubits, and this is
+/// built once per heuristic evaluation).
 class DisjointSets {
  public:
-  explicit DisjointSets(int n) : parent_(static_cast<std::size_t>(n)) {
-    std::iota(parent_.begin(), parent_.end(), 0);
+  explicit DisjointSets(int n) {
+    std::iota(parent_.begin(), parent_.begin() + n, 0);
   }
   int find(int a) {
     while (parent_[static_cast<std::size_t>(a)] != a) {
@@ -30,22 +31,20 @@ class DisjointSets {
   void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
 
  private:
-  std::vector<int> parent_;
+  std::array<int, kMaxQubits> parent_;
 };
 
 /// True if qubits p and q are statistically dependent in the measurement
 /// distribution. With binary marginals a single cell check suffices:
 /// m * n11 != n1. * n.1  <=>  dependent. Counts fit 64 bits; the products
-/// are compared in 128 bits.
+/// are compared in 128 bits. The three cell counts are weighted column
+/// sums over the entry words (wide primitives, util/bitops).
 bool correlated(const SlotState& state, int p, int q) {
-  std::uint64_t n11 = 0, n1_ = 0, n_1 = 0;
-  for (const SlotEntry& e : state.entries()) {
-    const std::uint64_t bp = static_cast<std::uint64_t>(get_bit(e.index, p));
-    const std::uint64_t bq = static_cast<std::uint64_t>(get_bit(e.index, q));
-    n1_ += bp * e.count;
-    n_1 += bq * e.count;
-    n11 += (bp & bq) * e.count;
-  }
+  const std::uint64_t* words = entry_words(state.entries());
+  const std::size_t n = state.entries().size();
+  const std::uint64_t n1_ = wideops::weight_sum_if_bit(words, n, p);
+  const std::uint64_t n_1 = wideops::weight_sum_if_bit(words, n, q);
+  const std::uint64_t n11 = wideops::weight_sum_if_bits(words, n, p, q);
   const std::uint64_t m = state.total();
   return static_cast<unsigned __int128>(n11) * m !=
          static_cast<unsigned __int128>(n1_) * n_1;
@@ -62,8 +61,8 @@ constexpr std::size_t kMaxGroupedParts = 8;
 /// device edges any circuit realizing that grouping must spend. A lone
 /// singleton still needs one incident edge (cost 1, its Steiner size is 0).
 std::int64_t grouped_steiner_bound(const CouplingGraph& coupling,
-                                   const std::vector<std::uint32_t>& parts) {
-  const std::size_t j = parts.size();
+                                   const std::uint32_t* parts,
+                                   std::size_t j) {
   const std::uint32_t all = (1u << j) - 1;
   // Stack buffers: this runs once per generated search node, and j is
   // capped at kMaxGroupedParts.
@@ -97,38 +96,44 @@ std::int64_t heuristic_lower_bound(const SlotState& state, HeuristicMode mode,
                                    const CouplingGraph* coupling) {
   if (mode == HeuristicMode::kZero) return 0;
 
+  // This runs once per generated search node; qubit-indexed scratch lives
+  // in fixed stack arrays (n <= kMaxQubits) instead of per-call vectors.
   const int n = state.num_qubits();
-  std::vector<int> entangled;
+  std::array<int, kMaxQubits> entangled;
+  std::size_t num_entangled = 0;
   for (int q = 0; q < n; ++q) {
-    if (!state.qubit_separable(q)) entangled.push_back(q);
+    if (!state.qubit_separable(q)) entangled[num_entangled++] = q;
   }
-  if (entangled.empty()) return 0;
+  if (num_entangled == 0) return 0;
 
   if (mode == HeuristicMode::kPair) {
-    return (static_cast<std::int64_t>(entangled.size()) + 1) / 2;
+    return (static_cast<std::int64_t>(num_entangled) + 1) / 2;
   }
 
   // kComponent: connected components of the correlation graph restricted to
   // entangled qubits.
   DisjointSets sets(n);
-  for (std::size_t i = 0; i < entangled.size(); ++i) {
-    for (std::size_t j = i + 1; j < entangled.size(); ++j) {
+  for (std::size_t i = 0; i < num_entangled; ++i) {
+    for (std::size_t j = i + 1; j < num_entangled; ++j) {
       if (correlated(state, entangled[i], entangled[j])) {
         sets.unite(entangled[i], entangled[j]);
       }
     }
   }
-  std::vector<std::uint32_t> mask(static_cast<std::size_t>(n), 0);
-  for (const int q : entangled) {
+  std::array<std::uint32_t, kMaxQubits> mask;
+  mask.fill(0);
+  for (std::size_t i = 0; i < num_entangled; ++i) {
+    const int q = entangled[i];
     mask[static_cast<std::size_t>(sets.find(q))] |= std::uint32_t{1} << q;
   }
   std::int64_t unit_bound = 0;
   std::int64_t singletons = 0;
-  std::vector<std::uint32_t> parts;
+  std::array<std::uint32_t, kMaxQubits> parts;
+  std::size_t num_parts = 0;
   for (int r = 0; r < n; ++r) {
     const std::uint32_t part = mask[static_cast<std::size_t>(r)];
     if (part == 0) continue;
-    parts.push_back(part);
+    parts[num_parts++] = part;
     const int k = popcount(part);
     if (k >= 2) unit_bound += k - 1;
     if (k == 1) ++singletons;
@@ -136,13 +141,14 @@ std::int64_t heuristic_lower_bound(const SlotState& state, HeuristicMode mode,
   unit_bound += (singletons + 1) / 2;
 
   if (coupling == nullptr || coupling->is_complete() ||
-      coupling->num_qubits() < n || parts.size() > kMaxGroupedParts) {
+      coupling->num_qubits() < n || num_parts > kMaxGroupedParts) {
     return unit_bound;
   }
   // The grouped bound can never fall below the unit bound (device Steiner
   // sizes dominate their complete-graph counterparts), but the max keeps
   // the guarantee explicit.
-  return std::max(unit_bound, grouped_steiner_bound(*coupling, parts));
+  return std::max(unit_bound,
+                  grouped_steiner_bound(*coupling, parts.data(), num_parts));
 }
 
 }  // namespace qsp

@@ -1,6 +1,7 @@
 #include "core/parallel_astar.hpp"
 
 #include <atomic>
+#include <iterator>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -94,6 +95,8 @@ class HdaStar {
       result.stats.stale_pops += shard.stale_pops;
       result.stats.classes_stored += shard.arena.size();
       result.stats.sum_shard_peak_open_size += shard.open.peak_size();
+      result.stats.arena_blocks += shard.arena.arena_blocks();
+      result.stats.arena_bytes_peak += shard.arena.arena_bytes_peak();
     }
     result.stats.nodes_generated = shared_.nodes_generated.load();
     result.stats.seconds = timer.seconds();
@@ -197,7 +200,10 @@ class HdaStar {
   void expand(int s, Shard& shard, std::int64_t id,
               std::vector<std::vector<Mail>>& outbox) {
     ++shard.expanded;
-    const SlotState state = shard.arena.node(id).state;  // may reallocate
+    // Expand by reference: NodeArena references survive appends, and only
+    // this worker mutates its own shard's arena. A relax cannot rebind the
+    // expanded node itself (children have g2 = g + cost >= g).
+    const SlotState& state = shard.arena.node(id).state;
     const std::int64_t g = shard.arena.node(id).g;
     const std::int64_t parent_gid = make_shard_gid(s, id);
     auto h = [this](const SlotState& child) { return h_of(child); };
@@ -228,8 +234,12 @@ class HdaStar {
       shared_.sent.fetch_add(out.size());
       Shard& target = shards_[static_cast<std::size_t>(dest)];
       {
+        // One bulk append per destination keeps the critical section to a
+        // single grow-and-move instead of per-message push_backs.
         const std::lock_guard<std::mutex> lock(target.inbox_mutex);
-        for (Mail& mail : out) target.inbox.push_back(std::move(mail));
+        target.inbox.insert(target.inbox.end(),
+                            std::make_move_iterator(out.begin()),
+                            std::make_move_iterator(out.end()));
       }
       out.clear();
     }

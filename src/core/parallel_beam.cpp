@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <iterator>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -65,8 +66,9 @@ struct BeamMail {
 struct alignas(64) BeamShard {
   /// Append-only node arena (ids are (shard, offset) gids): truncated
   /// ancestors must stay intact for path reconstruction, so the beam
-  /// never rebinds like ClassedArena does.
-  std::vector<SearchNode> nodes;
+  /// never rebinds like ClassedArena does. Chunked (NodeArena) so cross-
+  /// shard parent reads in generate() can borrow by reference.
+  NodeArena nodes;
   /// Best g per owned class across all levels (the duplicate-detection
   /// table; lock-free because only the owner touches it, like the HDA*
   /// per-shard arenas).
@@ -118,8 +120,8 @@ class ParallelBeam {
     const int root_shard = owner_of(root_key);
     BeamShard& root_home = shards_[static_cast<std::size_t>(root_shard)];
     root_home.best_g.emplace(std::move(root_key), 0);
-    root_home.nodes.push_back(SearchNode{target_, 0, h_(target_),
-                                         SearchNode::kNoParent, Move{}});
+    root_home.nodes.append(SearchNode{target_, 0, h_(target_),
+                                      SearchNode::kNoParent, Move{}});
     const std::int64_t root_gid = make_shard_gid(root_shard, 0);
 
     const bool root_is_goal = free_reducible(target_, level_);
@@ -150,6 +152,8 @@ class ParallelBeam {
       result.stats.nodes_expanded += shard.expanded;
       result.stats.nodes_generated += shard.generated;
       result.stats.classes_stored += shard.best_g.size();
+      result.stats.arena_blocks += shard.nodes.blocks();
+      result.stats.arena_bytes_peak += shard.nodes.bytes_peak();
     }
     result.stats.budget_exhausted = budget_exhausted_.load();
     result.stats.seconds = timer.seconds();
@@ -168,8 +172,8 @@ class ParallelBeam {
 
  private:
   const SearchNode& node_at(std::int64_t gid) const {
-    return shards_[static_cast<std::size_t>(shard_of_gid(gid))]
-        .nodes[static_cast<std::size_t>(local_of_gid(gid))];
+    return shards_[static_cast<std::size_t>(shard_of_gid(gid))].nodes.node(
+        local_of_gid(gid));
   }
 
   int owner_of(const CanonicalKey& key) const {
@@ -213,7 +217,10 @@ class ParallelBeam {
         break;
       }
       const std::int64_t parent_gid = beam_[pos];
-      const SlotState state = node_at(parent_gid).state;
+      // Borrowed across shards: arenas only append during the resolve
+      // phase (after the generation barrier), and NodeArena references
+      // are stable across appends anyway.
+      const SlotState& state = node_at(parent_gid).state;
       const std::int64_t g = node_at(parent_gid).g;
       std::uint64_t move_index = 0;
       for (const Move& mv : enumerate_moves(state, move_options_)) {
@@ -253,8 +260,11 @@ class ParallelBeam {
       std::vector<BeamMail>& out = outbox[static_cast<std::size_t>(dest)];
       if (out.empty()) continue;
       BeamShard& target = shards_[static_cast<std::size_t>(dest)];
+      // One bulk append per destination, like the HDA* outbox flush.
       const std::lock_guard<std::mutex> lock(target.inbox_mutex);
-      for (BeamMail& mail : out) target.inbox.push_back(std::move(mail));
+      target.inbox.insert(target.inbox.end(),
+                          std::make_move_iterator(out.begin()),
+                          std::make_move_iterator(out.end()));
     }
   }
 
@@ -291,9 +301,9 @@ class ParallelBeam {
       }
       const std::int64_t h = h_(pending.state);
       const int cardinality = pending.state.cardinality();
-      const auto local = static_cast<std::int64_t>(shard.nodes.size());
-      shard.nodes.push_back(SearchNode{std::move(pending.state), pending.g2,
-                                       h, pending.parent, pending.via});
+      const std::int64_t local =
+          shard.nodes.append(SearchNode{std::move(pending.state), pending.g2,
+                                        h, pending.parent, pending.via});
       shard.selected.push_back(BeamCandidate{
           beam_score(pending.g2, h, cardinality, options_.cardinality_weight),
           h, pending.g2, &it->first, make_shard_gid(s, local)});
@@ -328,9 +338,9 @@ class ParallelBeam {
       BeamPending& offer = *home.goal;
       if (offer.g2 < goal_g_) {
         // The goal node lives with the shard that resolved its class.
-        const auto local = static_cast<std::int64_t>(home.nodes.size());
-        home.nodes.push_back(SearchNode{std::move(offer.state), offer.g2, 0,
-                                        offer.parent, offer.via});
+        const std::int64_t local =
+            home.nodes.append(SearchNode{std::move(offer.state), offer.g2, 0,
+                                         offer.parent, offer.via});
         goal_gid_ = make_shard_gid(goal_shard, local);
         goal_g_ = offer.g2;
       }

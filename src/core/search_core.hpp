@@ -6,11 +6,10 @@
 // canonicalization demotion, and goal-circuit reconstruction. Extracted
 // from astar.cpp / beam.cpp, which used to duplicate this bookkeeping.
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <optional>
-#include <queue>
-#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -114,6 +113,70 @@ class SearchBudget {
   std::uint64_t node_budget_;
 };
 
+/// Chunked node storage with stable references: nodes live in
+/// fixed-capacity blocks that are never reallocated, so a `SearchNode&`
+/// stays valid across appends. That lets the expansion loops hold a
+/// reference to the node being expanded instead of copying its SlotState
+/// (safe under the relax discipline: a rebind of the expanded node would
+/// need g2 < g, and every child has g2 = g + cost >= g). Also tracks
+/// allocation pressure: blocks allocated and peak resident bytes (block
+/// storage plus slot-entry payload) for SearchStats.
+class NodeArena {
+ public:
+  static constexpr std::size_t kBlockShift = 9;  // 512 nodes per block
+  static constexpr std::size_t kBlockNodes = std::size_t{1} << kBlockShift;
+
+  std::int64_t append(SearchNode&& node) {
+    if (size_ == blocks_.size() * kBlockNodes) {
+      blocks_.emplace_back();
+      blocks_.back().reserve(kBlockNodes);  // capacity fixed: refs stable
+    }
+    payload_bytes_ += payload_bytes(node.state);
+    blocks_.back().push_back(std::move(node));
+    const auto id = static_cast<std::int64_t>(size_++);
+    update_peak();
+    return id;
+  }
+
+  /// Swap a rebound node's state in place, keeping the byte accounting
+  /// truthful (rebinds may shrink or grow the slot payload).
+  void replace_state(SearchNode& node, SlotState&& state) {
+    payload_bytes_ -= payload_bytes(node.state);
+    payload_bytes_ += payload_bytes(state);
+    node.state = std::move(state);
+    update_peak();
+  }
+
+  SearchNode& node(std::int64_t id) {
+    const auto i = static_cast<std::size_t>(id);
+    return blocks_[i >> kBlockShift][i & (kBlockNodes - 1)];
+  }
+  const SearchNode& node(std::int64_t id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return blocks_[i >> kBlockShift][i & (kBlockNodes - 1)];
+  }
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t blocks() const { return blocks_.size(); }
+  std::uint64_t bytes_peak() const { return bytes_peak_; }
+
+ private:
+  static std::uint64_t payload_bytes(const SlotState& state) {
+    return state.entries().size() * sizeof(SlotEntry);
+  }
+
+  void update_peak() {
+    const std::uint64_t bytes =
+        blocks_.size() * kBlockNodes * sizeof(SearchNode) + payload_bytes_;
+    bytes_peak_ = std::max(bytes_peak_, bytes);
+  }
+
+  std::vector<std::vector<SearchNode>> blocks_;
+  std::size_t size_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t bytes_peak_ = 0;
+};
+
 /// Arena of SearchNodes plus the class index with A*'s relax discipline:
 /// a new class appends a record; a cheaper path to a known class rebinds
 /// the record in place (implicit reopening keeps optimality under an
@@ -130,8 +193,8 @@ class ClassedArena {
   /// Seed the arena with the search root (id 0).
   void add_root(CanonicalKey key, SlotState state, std::int64_t h) {
     index_.emplace(std::move(key), 0);
-    nodes_.push_back(SearchNode{std::move(state), 0, h,
-                                SearchNode::kNoParent, Move{}});
+    nodes_.append(SearchNode{std::move(state), 0, h,
+                             SearchNode::kNoParent, Move{}});
   }
 
   /// Relax the arc parent --via--> child with tentative distance g2.
@@ -143,29 +206,29 @@ class ClassedArena {
     if (!inserted) {
       SearchNode& existing = node(it->second);
       if (existing.g <= g2) return {it->second, false};
-      existing.state = std::move(child);
+      nodes_.replace_state(existing, std::move(child));
       existing.g = g2;
       existing.parent = parent;
       existing.via = via;
       return {it->second, true};
     }
     const std::int64_t h = h_of(child);
-    const auto id = static_cast<std::int64_t>(nodes_.size());
+    const std::int64_t id =
+        nodes_.append(SearchNode{std::move(child), g2, h, parent, via});
     it->second = id;
-    nodes_.push_back(SearchNode{std::move(child), g2, h, parent, via});
     return {id, true};
   }
 
-  SearchNode& node(std::int64_t id) {
-    return nodes_[static_cast<std::size_t>(id)];
-  }
-  const SearchNode& node(std::int64_t id) const {
-    return nodes_[static_cast<std::size_t>(id)];
-  }
+  /// References returned here are stable across relax/append (NodeArena).
+  SearchNode& node(std::int64_t id) { return nodes_.node(id); }
+  const SearchNode& node(std::int64_t id) const { return nodes_.node(id); }
   std::uint64_t size() const { return nodes_.size(); }
 
+  std::uint64_t arena_blocks() const { return nodes_.blocks(); }
+  std::uint64_t arena_bytes_peak() const { return nodes_.bytes_peak(); }
+
  private:
-  std::vector<SearchNode> nodes_;
+  NodeArena nodes_;
   ClassIndex<std::int64_t> index_;
 };
 
@@ -173,6 +236,14 @@ class ClassedArena {
 /// a class simply pushes a fresh entry; pop_best discards entries whose
 /// pushed g no longer matches the record (stale), counting them for
 /// SearchStats::stale_pops.
+///
+/// Implemented as a flat 4-ary implicit min-heap rather than
+/// std::priority_queue<tuple>: one contiguous Entry array (no tuple
+/// layout), shallower trees, and four children per cache line's worth of
+/// entries. Pop order is identical to the old binary heap because the
+/// comparator is a total order on the entries it ever holds: (id,
+/// g_at_push) pairs are unique (a class is re-pushed only when its g
+/// strictly decreases), so ties never reach an arbitrary decision.
 class OpenQueue {
  public:
   struct Entry {
@@ -184,22 +255,23 @@ class OpenQueue {
 
   void push(std::int64_t f, std::int64_t h, std::int64_t id,
             std::int64_t g_at_push) {
-    queue_.emplace(f, h, id, g_at_push);
-    peak_ = std::max(peak_, static_cast<std::uint64_t>(queue_.size()));
+    heap_.push_back(Entry{f, h, id, g_at_push});
+    sift_up(heap_.size() - 1);
+    peak_ = std::max(peak_, static_cast<std::uint64_t>(heap_.size()));
   }
 
   /// Pop the best non-stale entry; `g_of(id)` must return the record's
   /// current g so outdated entries can be discarded.
   template <class GOf>
   std::optional<Entry> pop_best(GOf&& g_of, std::uint64_t& stale_pops) {
-    while (!queue_.empty()) {
-      const auto [f, h, id, g_at_push] = queue_.top();
-      queue_.pop();
-      if (g_of(id) != g_at_push) {
+    while (!heap_.empty()) {
+      const Entry best = heap_.front();
+      pop_top();
+      if (g_of(best.id) != best.g_at_push) {
         ++stale_pops;
         continue;
       }
-      return Entry{f, h, id, g_at_push};
+      return best;
     }
     return std::nullopt;
   }
@@ -208,16 +280,52 @@ class OpenQueue {
   /// lower bound: a rebind's fresh entry has f no larger than its stale
   /// one), or kInfiniteCost when empty.
   std::int64_t min_f() const {
-    return queue_.empty() ? kInfiniteCost : std::get<0>(queue_.top());
+    return heap_.empty() ? kInfiniteCost : heap_.front().f;
   }
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return heap_.empty(); }
   std::uint64_t peak_size() const { return peak_; }
 
  private:
-  using Tuple =
-      std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
-  std::priority_queue<Tuple, std::vector<Tuple>, std::greater<>> queue_;
+  static bool less(const Entry& a, const Entry& b) {
+    if (a.f != b.f) return a.f < b.f;
+    if (a.h != b.h) return a.h < b.h;
+    if (a.id != b.id) return a.id < b.id;
+    return a.g_at_push < b.g_at_push;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i != 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void pop_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less(heap_[c], heap_[best])) best = c;
+      }
+      if (!less(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
   std::uint64_t peak_ = 0;
 };
 

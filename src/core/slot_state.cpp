@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -127,11 +126,10 @@ SlotState SlotState::with_translation(BasisIndex mask) const {
 
 bool SlotState::qubit_constant(int qubit, int* value) const {
   QSP_ASSERT(qubit >= 0 && qubit < num_qubits_);
-  const int first = get_bit(entries_.front().index, qubit);
-  for (const SlotEntry& e : entries_) {
-    if (get_bit(e.index, qubit) != first) return false;
-  }
-  if (value != nullptr) *value = first;
+  const wideops::ColumnBits cb =
+      wideops::bit_column_or_and(entry_words(entries_), entries_.size(), qubit);
+  if (cb.any != cb.all) return false;  // column is mixed
+  if (value != nullptr) *value = cb.any ? 1 : 0;
   return true;
 }
 
@@ -139,22 +137,50 @@ bool SlotState::qubit_separable(int qubit) const {
   QSP_ASSERT(qubit >= 0 && qubit < num_qubits_);
   // Group entries by rest-index (bit `qubit` cleared); separable iff the
   // count ratios k_r/j_r agree across groups (cross-multiplication test).
-  std::map<BasisIndex, std::pair<std::uint64_t, std::uint64_t>> groups;
+  // Entries are index-sorted and unique, so the bit-clear and bit-set
+  // subsequences are each rest-sorted with at most one member per group:
+  // a two-pointer merge-join walks the groups in ascending rest order
+  // without materializing a rest-keyed map.
   const BasisIndex bit = BasisIndex{1} << qubit;
-  for (const SlotEntry& e : entries_) {
-    auto& [j, k] = groups[e.index & ~bit];
-    ((e.index & bit) == 0 ? j : k) += e.count;
-  }
-  const auto [j0, k0] = groups.begin()->second;
-  for (const auto& [rest, jk] : groups) {
-    // Use long double to avoid overflow for very large counts; counts are
-    // bounded by 2^32 so the products fit in 128 bits -> compare via
-    // __int128 on supported platforms, long double otherwise.
-    const unsigned __int128 lhs =
-        static_cast<unsigned __int128>(jk.second) * j0;
-    const unsigned __int128 rhs =
-        static_cast<unsigned __int128>(k0) * jk.first;
-    if (lhs != rhs) return false;
+  const std::size_t m = entries_.size();
+  const auto next_clear = [&](std::size_t i) {
+    while (i < m && (entries_[i].index & bit) != 0) ++i;
+    return i;
+  };
+  const auto next_set = [&](std::size_t i) {
+    while (i < m && (entries_[i].index & bit) == 0) ++i;
+    return i;
+  };
+  constexpr BasisIndex kNoRest = ~BasisIndex{0};  // > any real index
+  std::size_t a = next_clear(0);
+  std::size_t b = next_set(0);
+  std::uint64_t j0 = 0, k0 = 0;
+  bool have_first = false;
+  while (a < m || b < m) {
+    const BasisIndex ra = a < m ? entries_[a].index : kNoRest;
+    const BasisIndex rb = b < m ? (entries_[b].index ^ bit) : kNoRest;
+    const bool take_a = ra <= rb;
+    const bool take_b = rb <= ra;
+    std::uint64_t j = 0, k = 0;
+    if (take_a) {
+      j = entries_[a].count;
+      a = next_clear(a + 1);
+    }
+    if (take_b) {
+      k = entries_[b].count;
+      b = next_set(b + 1);
+    }
+    if (!have_first) {
+      j0 = j;
+      k0 = k;
+      have_first = true;
+      continue;
+    }
+    // Counts are bounded by 2^32, so the cross products fit in 128 bits.
+    if (static_cast<unsigned __int128>(k) * j0 !=
+        static_cast<unsigned __int128>(k0) * j) {
+      return false;
+    }
   }
   return true;
 }

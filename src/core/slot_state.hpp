@@ -13,6 +13,8 @@
 // families of the paper and every state the workflow's reductions produce
 // from them.
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -29,6 +31,18 @@ struct SlotEntry {
 
   friend bool operator==(const SlotEntry&, const SlotEntry&) = default;
 };
+
+/// A SlotEntry array viewed in the *entry word* layout of util/bitops
+/// wideops: each entry is one 64-bit word with the index in the low half
+/// and the count in the high half. The asserts pin the layout this
+/// reinterpretation depends on (little-endian x86-64 / aarch64 hosts).
+inline const std::uint64_t* entry_words(const std::vector<SlotEntry>& entries) {
+  static_assert(sizeof(SlotEntry) == sizeof(std::uint64_t));
+  static_assert(offsetof(SlotEntry, index) == 0);
+  static_assert(offsetof(SlotEntry, count) == sizeof(std::uint32_t));
+  static_assert(std::endian::native == std::endian::little);
+  return reinterpret_cast<const std::uint64_t*>(entries.data());
+}
 
 class SlotState {
  public:

@@ -1,0 +1,41 @@
+#pragma once
+// Masked pair-run decomposition shared by the real (sim/statevector) and
+// complex (phase/complex_statevector) simulators. Every two-level gate
+// kernel iterates pairs (i, i + 2^target) over indices i with the target
+// bit clear and an optional control condition (i & ctrl_mask) ==
+// ctrl_value. Those indices form contiguous runs of length
+// 2^countr_zero(tbit | ctrl_mask): within a run only bits below the
+// lowest constrained bit vary, so the run can be handed to a wide batch
+// primitive (util/bitops wideops) instead of testing the condition per
+// element. The runs partition the index set exactly, and pairs are
+// disjoint, so any run order produces bit-identical amplitudes.
+
+#include <bit>
+#include <cstddef>
+
+#include "util/bitops.hpp"
+
+namespace qsp::runs {
+
+/// Invoke fn(lo, len) for each maximal contiguous run of indices i in
+/// [0, size) with (i & (1 << target)) == 0 and (i & ctrl_mask) ==
+/// ctrl_value. Preconditions: size is a power of two, target < log2(size),
+/// ctrl_value is a subset of ctrl_mask, and the target bit is not in
+/// ctrl_mask. The partner of each index is i + (1 << target).
+template <typename Fn>
+void for_each_pair_run(std::size_t size, int target, BasisIndex ctrl_mask,
+                       BasisIndex ctrl_value, Fn&& fn) {
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t constrained = tbit | ctrl_mask;
+  const std::size_t run = std::size_t{1} << std::countr_zero(constrained);
+  // Free bits above the run: the subset enumeration below walks them in
+  // ascending order (s = (s - m) & m visits every submask of m once).
+  const std::size_t free_high = (size - 1) & ~constrained & ~(run - 1);
+  std::size_t s = 0;
+  do {
+    fn(s | ctrl_value, run);
+    s = (s - free_high) & free_high;
+  } while (s != 0);
+}
+
+}  // namespace qsp::runs

@@ -1,12 +1,32 @@
 #include "sim/statevector.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "sim/apply_runs.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 
 namespace qsp {
+namespace {
+
+// Pair runs shorter than this don't amortize the per-run batch dispatch
+// (a low target or control bit fragments the index set); the strided
+// masked loops below keep the seed shape for those. The wide and strided
+// paths are chosen by gate structure alone, never by ISA, so dispatch
+// stays bit-invariant. This TU is compiled with -ffp-contract=off so the
+// strided element math cannot be FMA-contracted away from the wide
+// kernels' fixed shape on -march builds.
+constexpr std::size_t kMinWideRun = 8;
+
+std::size_t pair_run_length(int target, BasisIndex ctrl_mask) {
+  return std::size_t{1}
+         << std::countr_zero((std::size_t{1} << target) | ctrl_mask);
+}
+
+}  // namespace
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   if (num_qubits < 1 || num_qubits > kMaxQubits) {
@@ -22,9 +42,18 @@ Statevector::Statevector(const QuantumState& state)
 void Statevector::apply_x(int target) {
   const std::size_t stride = std::size_t{1} << target;
   const std::size_t size = amp_.size();
+  double* amp = amp_.data();
+  if (stride >= kMinWideRun) {
+    runs::for_each_pair_run(size, target, 0, 0,
+                            [&](std::size_t lo, std::size_t len) {
+                              wideops::swap_ranges_d(amp + lo,
+                                                     amp + lo + stride, len);
+                            });
+    return;
+  }
   for (std::size_t base = 0; base < size; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
-      std::swap(amp_[i], amp_[i + stride]);
+      std::swap(amp[i], amp[i + stride]);
     }
   }
 }
@@ -34,10 +63,19 @@ void Statevector::apply_cnot(const ControlLiteral& c, int target) {
   const std::size_t size = amp_.size();
   const BasisIndex cbit = BasisIndex{1} << c.qubit;
   const BasisIndex want = c.positive ? cbit : 0;
+  double* amp = amp_.data();
+  if (pair_run_length(target, cbit) >= kMinWideRun) {
+    runs::for_each_pair_run(size, target, cbit, want,
+                            [&](std::size_t lo, std::size_t len) {
+                              wideops::swap_ranges_d(amp + lo,
+                                                     amp + lo + stride, len);
+                            });
+    return;
+  }
   for (std::size_t base = 0; base < size; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
       if ((static_cast<BasisIndex>(i) & cbit) == want) {
-        std::swap(amp_[i], amp_[i + stride]);
+        std::swap(amp[i], amp[i + stride]);
       }
     }
   }
@@ -46,18 +84,27 @@ void Statevector::apply_cnot(const ControlLiteral& c, int target) {
 void Statevector::apply_rotation_pairs(int target, double theta,
                                        BasisIndex ctrl_mask,
                                        BasisIndex ctrl_value) {
+  // Ry(theta) = [[cos t/2, -sin t/2], [sin t/2, cos t/2]].
   const double co = std::cos(theta / 2);
   const double si = std::sin(theta / 2);
   const std::size_t stride = std::size_t{1} << target;
   const std::size_t size = amp_.size();
+  double* amp = amp_.data();
+  if (pair_run_length(target, ctrl_mask) >= kMinWideRun) {
+    runs::for_each_pair_run(
+        size, target, ctrl_mask, ctrl_value,
+        [&](std::size_t lo, std::size_t len) {
+          wideops::rotate_pairs_d(amp + lo, amp + lo + stride, len, co, si);
+        });
+    return;
+  }
   for (std::size_t base = 0; base < size; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
       if ((static_cast<BasisIndex>(i) & ctrl_mask) != ctrl_value) continue;
-      const double a = amp_[i];
-      const double b = amp_[i + stride];
-      // Ry(theta) = [[cos t/2, -sin t/2], [sin t/2, cos t/2]].
-      amp_[i] = co * a - si * b;
-      amp_[i + stride] = si * a + co * b;
+      const double a = amp[i];
+      const double b = amp[i + stride];
+      amp[i] = co * a - si * b;
+      amp[i + stride] = si * a + co * b;
     }
   }
 }
@@ -71,8 +118,29 @@ void Statevector::apply_ucry(const Gate& gate) {
     co[s] = std::cos(angles[s] / 2);
     si[s] = std::sin(angles[s] / 2);
   }
+  BasisIndex mask = 0;
+  for (const auto& c : controls) mask |= BasisIndex{1} << c.qubit;
   const std::size_t stride = std::size_t{1} << gate.target();
   const std::size_t size = amp_.size();
+  double* amp = amp_.data();
+  if (pair_run_length(gate.target(), mask) >= kMinWideRun) {
+    // Sweep each pattern's control assignment as its own run set: the
+    // patterns partition the pairs, so every pair is touched exactly
+    // once, just grouped by angle.
+    for (std::size_t pattern = 0; pattern < angles.size(); ++pattern) {
+      BasisIndex value = 0;
+      for (std::size_t b = 0; b < controls.size(); ++b) {
+        if ((pattern >> b) & 1) value |= BasisIndex{1} << controls[b].qubit;
+      }
+      runs::for_each_pair_run(
+          size, gate.target(), mask, value,
+          [&](std::size_t lo, std::size_t len) {
+            wideops::rotate_pairs_d(amp + lo, amp + lo + stride, len,
+                                    co[pattern], si[pattern]);
+          });
+    }
+    return;
+  }
   for (std::size_t base = 0; base < size; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
       std::uint32_t pattern = 0;
@@ -81,10 +149,10 @@ void Statevector::apply_ucry(const Gate& gate) {
           pattern |= std::uint32_t{1} << b;
         }
       }
-      const double a = amp_[i];
-      const double bmp = amp_[i + stride];
-      amp_[i] = co[pattern] * a - si[pattern] * bmp;
-      amp_[i + stride] = si[pattern] * a + co[pattern] * bmp;
+      const double a = amp[i];
+      const double bmp = amp[i + stride];
+      amp[i] = co[pattern] * a - si[pattern] * bmp;
+      amp[i + stride] = si[pattern] * a + co[pattern] * bmp;
     }
   }
 }

@@ -60,4 +60,144 @@ constexpr int parity(BasisIndex x, BasisIndex mask) {
   return std::popcount(x & mask) & 1;
 }
 
+// ---------------------------------------------------------------------------
+// Wide primitives (the runtime-dispatched SIMD layer, util/simd.hpp).
+//
+// The hot loops of the canonicalization scan, the slot-column tests, and
+// the statevector pair kernels are expressed as batch operations over
+// contiguous words so one dispatch decision covers the whole loop. Two
+// word layouts appear:
+//
+//  - *packed canonical words*: (index << 32) | count, the CanonicalKey
+//    element layout of core/canonical.cpp;
+//  - *entry words*: a SlotEntry {index, count} reinterpreted as one
+//    64-bit word — index in the LOW half, count in the HIGH half on the
+//    little-endian hosts this layer targets.
+//
+// Every primitive has `_scalar` and (on x86-64) `_avx2` variants that
+// are bit-identical by construction — integer ops exactly, floating
+// point by matching operation shape and reduction order (the TU is built
+// with -ffp-contract=off so the scalar loops cannot be FMA-contracted
+// away from the vector ops). The undecorated name dispatches on
+// simd::active_isa(). Differential coverage: tests/test_simd.cpp.
+// ---------------------------------------------------------------------------
+
+namespace wideops {
+
+/// dst[i] = src[i] ^ (mask << 32): one X-translation pass over packed
+/// canonical words. dst/src may alias elementwise (dst == src ok).
+void copy_xor_high32(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n, std::uint32_t mask);
+void copy_xor_high32_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n, std::uint32_t mask);
+
+/// Permute the index (high) half of packed canonical words: bit perm[q]
+/// of dst's index is bit q of src's index, for q < num_bits; index bits
+/// >= num_bits must be clear (permute_bits' contract). Counts copied.
+void permute_high32(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n, const int* perm, int num_bits);
+void permute_high32_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t n, const int* perm, int num_bits);
+
+/// dst[i] = ((index << 1) << 32) | count — the greedy canonical scan's
+/// prefix shift (index wraps mod 2^32 like the u32 arithmetic it
+/// replaces). dst == src ok.
+void shl1_high32(std::uint64_t* dst, const std::uint64_t* src,
+                 std::size_t n);
+void shl1_high32_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n);
+
+/// dst[i] = base[i] | (bit `bit` of words[i]'s index half) << 32 — ORs
+/// one extracted index column into the low index bit. dst == base ok.
+void or_bit_from_high32(std::uint64_t* dst, const std::uint64_t* base,
+                        const std::uint64_t* words, std::size_t n, int bit);
+void or_bit_from_high32_scalar(std::uint64_t* dst, const std::uint64_t* base,
+                               const std::uint64_t* words, std::size_t n,
+                               int bit);
+
+/// OR / AND of one value-bit column over entry words: `any` is true if
+/// bit `bit` of any low half is set, `all` if it is set in every word
+/// (vacuously true for n == 0). Early-exits once the column is known
+/// mixed.
+struct ColumnBits {
+  bool any = false;
+  bool all = true;
+};
+ColumnBits bit_column_or_and(const std::uint64_t* words, std::size_t n,
+                             int bit);
+ColumnBits bit_column_or_and_scalar(const std::uint64_t* words, std::size_t n,
+                                    int bit);
+
+/// Sum of high-half weights over entry words whose low half has bit
+/// `bit` set (a weighted bit-sliced popcount of one column).
+std::uint64_t weight_sum_if_bit(const std::uint64_t* words, std::size_t n,
+                                int bit);
+std::uint64_t weight_sum_if_bit_scalar(const std::uint64_t* words,
+                                       std::size_t n, int bit);
+
+/// Sum of high-half weights over entry words whose low half has both
+/// bits set (the joint column count of the correlation test).
+std::uint64_t weight_sum_if_bits(const std::uint64_t* words, std::size_t n,
+                                 int bit_a, int bit_b);
+std::uint64_t weight_sum_if_bits_scalar(const std::uint64_t* words,
+                                        std::size_t n, int bit_a, int bit_b);
+
+/// The Ry pair rotation over two contiguous amplitude runs:
+/// a[i] <- co*a[i] - si*b[i], b[i] <- si*a[i] + co*b[i].
+void rotate_pairs_d(double* a, double* b, std::size_t n, double co,
+                    double si);
+void rotate_pairs_d_scalar(double* a, double* b, std::size_t n, double co,
+                           double si);
+
+/// Swap two contiguous amplitude runs (X / CNOT block swaps).
+void swap_ranges_d(double* a, double* b, std::size_t n);
+void swap_ranges_d_scalar(double* a, double* b, std::size_t n);
+
+/// Multiply n_complex interleaved (re, im) pairs by the unit complex
+/// (re + i*im): x <- x*re - y*im, y <- y*re + x*im (Rz diagonal).
+void complex_scale_d(double* interleaved, std::size_t n_complex, double re,
+                     double im);
+void complex_scale_d_scalar(double* interleaved, std::size_t n_complex,
+                            double re, double im);
+
+/// Batched signed parity reduction: sum of parity(i & mask) ? -a[i] :
+/// a[i] over i in [0, n) — the Walsh-style angle transform of
+/// circuit/lowering.cpp. Both variants accumulate four lane sums
+/// (element i feeds lane i % 4) and combine them as
+/// (l0 + l2) + (l1 + l3), so scalar and AVX2 round identically.
+double parity_signed_sum_d(const double* a, std::size_t n,
+                           std::uint32_t mask);
+double parity_signed_sum_d_scalar(const double* a, std::size_t n,
+                                  std::uint32_t mask);
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QSP_WIDEOPS_HAVE_AVX2 1
+void copy_xor_high32_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n, std::uint32_t mask);
+void permute_high32_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n, const int* perm, int num_bits);
+void shl1_high32_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n);
+void or_bit_from_high32_avx2(std::uint64_t* dst, const std::uint64_t* base,
+                             const std::uint64_t* words, std::size_t n,
+                             int bit);
+ColumnBits bit_column_or_and_avx2(const std::uint64_t* words, std::size_t n,
+                                  int bit);
+std::uint64_t weight_sum_if_bit_avx2(const std::uint64_t* words,
+                                     std::size_t n, int bit);
+std::uint64_t weight_sum_if_bits_avx2(const std::uint64_t* words,
+                                      std::size_t n, int bit_a, int bit_b);
+void rotate_pairs_d_avx2(double* a, double* b, std::size_t n, double co,
+                         double si);
+void swap_ranges_d_avx2(double* a, double* b, std::size_t n);
+void complex_scale_d_avx2(double* interleaved, std::size_t n_complex,
+                          double re, double im);
+double parity_signed_sum_d_avx2(const double* a, std::size_t n,
+                                std::uint32_t mask);
+#else
+#define QSP_WIDEOPS_HAVE_AVX2 0
+#endif
+
+}  // namespace wideops
+
 }  // namespace qsp

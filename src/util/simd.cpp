@@ -1,0 +1,69 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+// AVX2 kernels are compiled behind per-function target attributes (see
+// util/bitops.cpp), so the build needs no global -mavx2; eligibility is
+// a compiler/arch property, support additionally a CPU property.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QSP_SIMD_CAN_AVX2 1
+#else
+#define QSP_SIMD_CAN_AVX2 0
+#endif
+
+namespace qsp::simd {
+namespace {
+
+Isa detect_isa() {
+  const char* env = std::getenv("QSP_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      // An unsatisfiable request degrades to scalar rather than aborting:
+      // the env knob must be safe to set fleet-wide.
+      return avx2_supported() ? Isa::kAvx2 : Isa::kScalar;
+    }
+    // Unknown value: ignore and fall through to detection.
+  }
+  return avx2_supported() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+std::atomic<int>& isa_cell() {
+  static std::atomic<int> cell{static_cast<int>(detect_isa())};
+  return cell;
+}
+
+}  // namespace
+
+bool avx2_supported() {
+#if QSP_SIMD_CAN_AVX2
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Isa active_isa() { return static_cast<Isa>(isa_cell().load()); }
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Isa set_isa_for_testing(Isa isa) {
+  if (isa == Isa::kAvx2 && !avx2_supported()) {
+    throw std::runtime_error(
+        "set_isa_for_testing: AVX2 not supported on this CPU/build");
+  }
+  return static_cast<Isa>(isa_cell().exchange(static_cast<int>(isa)));
+}
+
+}  // namespace qsp::simd
