@@ -93,6 +93,17 @@ OptLevel bench_opt_level() {
   }
 }
 
+Target bench_target() {
+  const char* env = std::getenv("QSP_TARGET");
+  if (env == nullptr || *env == '\0') return Target::cnot();
+  try {
+    return Target::by_name(env);
+  } catch (const std::exception& e) {
+    std::cerr << "QSP_TARGET: " << e.what() << "\n";
+    std::exit(1);
+  }
+}
+
 void print_banner(const std::string& title, const std::string& description) {
   std::cout << "=== " << title << " ===\n";
   std::cout << description << "\n";

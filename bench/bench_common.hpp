@@ -15,6 +15,7 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/pass_pipeline.hpp"
+#include "circuit/target.hpp"
 #include "state/quantum_state.hpp"
 
 namespace qsp::bench {
@@ -34,6 +35,11 @@ int bench_threads();
 /// QSP_OPT_LEVEL (0/1/2; default 1, the historical cleanup). The
 /// ablation_passes binary sweeps all levels regardless of this.
 OptLevel bench_opt_level();
+
+/// Backend target for the workflow in bench sweeps, from QSP_TARGET
+/// (cnot/cz/iswap/rzz; default cnot, the historical gate set). Exits
+/// with a diagnostic on an unknown name.
+Target bench_target();
 
 /// Standard banner: what is reproduced and how to widen the sweep.
 void print_banner(const std::string& title, const std::string& description);

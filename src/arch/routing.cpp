@@ -85,15 +85,19 @@ Circuit route_circuit(const Circuit& circuit, const CouplingGraph& coupling,
 
 bool respects_coupling(const Circuit& circuit,
                        const CouplingGraph& coupling) {
+  return respects_coupling(circuit, coupling, Target::cnot());
+}
+
+bool respects_coupling(const Circuit& circuit, const CouplingGraph& coupling,
+                       const Target& target) {
   for (const Gate& g : circuit.gates()) {
+    // Only the target's native gates pass: composite rotations
+    // (CRy/MCRy/UCRy), negative controls and off-target two-qubit kinds
+    // must be lowered away first, so an un-lowered circuit never passes
+    // conformance by accident.
+    if (!target.is_native(g)) return false;
     const auto qubits = g.qubits();
     if (qubits.size() <= 1) continue;
-    // The only native two-qubit gate is a positively controlled CNOT on a
-    // device edge; composite rotations (CRy/MCRy/UCRy) and negative
-    // controls must be lowered away first, so an un-lowered circuit never
-    // passes conformance by accident.
-    if (g.kind() != GateKind::kCNOT) return false;
-    if (!g.controls()[0].positive) return false;
     if (!coupling.has_edge(qubits[0], qubits[1])) return false;
   }
   return true;

@@ -36,4 +36,11 @@ Circuit route_circuit(const Circuit& circuit, const CouplingGraph& coupling,
 bool respects_coupling(const Circuit& circuit,
                        const CouplingGraph& coupling);
 
+/// Target-aware conformance: 1-qubit gates plus `target`'s native
+/// two-qubit gate on coupling edges only (Target::is_native per gate plus
+/// the edge check). With the CNOT target this is exactly the overload
+/// above; legalized circuits check against their own backend.
+bool respects_coupling(const Circuit& circuit, const CouplingGraph& coupling,
+                       const Target& target);
+
 }  // namespace qsp

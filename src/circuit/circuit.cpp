@@ -114,6 +114,20 @@ std::string Circuit::draw() const {
       case GateKind::kUCRz:
         label = "[UCRz]";
         break;
+      case GateKind::kCZ:
+        label = "[CZ]";
+        break;
+      case GateKind::kISwap:
+        label = "[iSW]";
+        break;
+      case GateKind::kRZZ: {
+        std::ostringstream ls;
+        ls.setf(std::ios::fixed);
+        ls.precision(2);
+        ls << "[RZZ " << g.theta() << ']';
+        label = ls.str();
+        break;
+      }
     }
     pad_all(col);
     const std::size_t width = label.size();

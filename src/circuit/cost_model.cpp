@@ -1,5 +1,8 @@
 #include "circuit/cost_model.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/assert.hpp"
 
 namespace qsp {
@@ -26,9 +29,35 @@ std::int64_t gate_cnot_cost(const Gate& gate) {
     case GateKind::kUCRy:
     case GateKind::kUCRz:
       return rotation_cost(gate.num_controls());
+    case GateKind::kCZ:
+    case GateKind::kISwap:
+    case GateKind::kRZZ:
+      // One two-qubit gate each; backend-specific weighting (e.g. the
+      // 2-iSwap CNOT emulation) lives in Target::gate_cost.
+      return 1;
   }
   QSP_ASSERT_MSG(false, "unreachable gate kind");
   return 0;
+}
+
+std::int64_t two_qubit_gate_count(const Circuit& circuit,
+                                  const Target& target) {
+  std::int64_t count = 0;
+  for (const Gate& g : circuit.gates()) {
+    if (!target.is_native(g)) {
+      throw std::invalid_argument(
+          "two_qubit_gate_count: gate not native for target '" +
+          std::string(target.name()) + "': " + g.to_string());
+    }
+    if (g.kind() == target.two_qubit_kind()) ++count;
+  }
+  return count;
+}
+
+double circuit_cost(const Circuit& circuit, const Target& target) {
+  double total = 0.0;
+  for (const Gate& g : circuit.gates()) total += target.gate_cost(g);
+  return total;
 }
 
 }  // namespace qsp

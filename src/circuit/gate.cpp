@@ -122,9 +122,36 @@ Gate Gate::ucrz(std::vector<int> controls, int target,
   return g;
 }
 
+// Symmetric two-qubit natives: canonical wire order (the lower wire is
+// stored as the positive control literal) so cz(a, b) == cz(b, a); the
+// cnot factory validates the pair.
+Gate Gate::cz(int a, int b) {
+  Gate g = cnot(std::min(a, b), std::max(a, b));
+  g.kind_ = GateKind::kCZ;
+  return g;
+}
+
+Gate Gate::iswap(int a, int b) {
+  Gate g = cnot(std::min(a, b), std::max(a, b));
+  g.kind_ = GateKind::kISwap;
+  return g;
+}
+
+Gate Gate::rzz(int a, int b, double theta) {
+  Gate g = cnot(std::min(a, b), std::max(a, b));
+  g.kind_ = GateKind::kRZZ;
+  g.theta_ = theta;
+  return g;
+}
+
 int Gate::num_controls() const { return static_cast<int>(controls_.size()); }
 
 Gate Gate::adjoint() const {
+  if (kind_ == GateKind::kISwap) {
+    // iSwap's inverse (iSwap^3, or iSwap with -i phases) is not in the
+    // gate set; negating nothing would silently return the wrong gate.
+    throw std::logic_error("Gate::adjoint: iSwap has no in-set inverse");
+  }
   Gate g = *this;
   g.theta_ = -theta_;
   for (double& a : g.angles_) a = -a;
@@ -200,6 +227,16 @@ std::string Gate::to_string() const {
     case GateKind::kUCRz:
       os << "UCRz(" << controls_str() << " -> q" << target_ << ", "
          << angles_.size() << " angles)";
+      break;
+    case GateKind::kCZ:
+      os << "CZ(q" << controls_[0].qubit << ", q" << target_ << ')';
+      break;
+    case GateKind::kISwap:
+      os << "iSWAP(q" << controls_[0].qubit << ", q" << target_ << ')';
+      break;
+    case GateKind::kRZZ:
+      os << "RZZ(q" << controls_[0].qubit << ", q" << target_ << ", "
+         << theta_ << ')';
       break;
   }
   return os.str();

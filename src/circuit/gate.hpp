@@ -22,6 +22,14 @@ enum class GateKind : std::uint8_t {
   // are simulated by the complex statevector only.
   kRz,    ///< Rz(theta) = diag(e^{-i theta/2}, e^{i theta/2}).
   kUCRz,  ///< Uniformly controlled Rz: one rotation per control pattern.
+  // Device-native two-qubit gates for backend legalization (target.hpp).
+  // Symmetric on their two wires; stored with the lower wire as a positive
+  // "control" literal so the Gate layout is reused, but neither wire is a
+  // control in the circuit-semantics sense.
+  kCZ,     ///< Controlled-Z: diag(1, 1, 1, -1) on the wire pair.
+  kISwap,  ///< iSWAP: |01> -> i|10>, |10> -> i|01>, |00>/|11> fixed.
+  kRZZ,    ///< exp(-i theta/2 Z(x)Z): e^{-i theta/2} on equal bits,
+           ///< e^{+i theta/2} on unequal bits.
 };
 
 /// A control literal: gate fires when `qubit` holds `positive ? 1 : 0`.
@@ -52,6 +60,12 @@ class Gate {
   /// Uniformly controlled Rz; same pattern convention as ucry.
   static Gate ucrz(std::vector<int> controls, int target,
                    std::vector<double> angles);
+  /// Symmetric device natives: the wire pair is canonicalized (the lower
+  /// wire is stored as the positive control literal), so cz(a, b) ==
+  /// cz(b, a) and adjacent duplicates cancel/fuse under the passes.
+  static Gate cz(int a, int b);
+  static Gate iswap(int a, int b);
+  static Gate rzz(int a, int b, double theta);
 
   GateKind kind() const { return kind_; }
   int target() const { return target_; }
@@ -60,7 +74,10 @@ class Gate {
   const std::vector<double>& angles() const { return angles_; }
   int num_controls() const;
 
-  /// Inverse gate (same kind; rotations get negated angles).
+  /// Inverse gate (same kind; rotations get negated angles). Throws
+  /// std::logic_error for kISwap, whose inverse is not in the gate set
+  /// (iSwap^2 = Z(x)Z, not the identity); iSwap only appears in terminal
+  /// legalized circuits, which are never adjointed.
   Gate adjoint() const;
 
   /// Gate with every qubit id q replaced by qubit_map[q] (used to embed

@@ -3,11 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/cost_model.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 
 namespace qsp {
 namespace {
+
+constexpr double kPi = 3.14159265358979323846;
 
 void emit_ucr(Circuit& out, const std::vector<int>& controls, int target,
               const std::vector<double>& pattern_angles,
@@ -74,7 +77,215 @@ void emit_ucr(Circuit& out, const std::vector<int>& controls, int target,
   flush();
 }
 
+LoweringOptions lowering_view(const PassOptions& options) {
+  LoweringOptions view;
+  view.elide_zero_rotations = options.elide_zero_rotations;
+  view.angle_epsilon = options.angle_epsilon;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// mcry-expand: MCRy -> UCRy via the one-hot pattern-angle embedding. The
+// Walsh transform of a one-hot angle vector is dense, so no elision
+// applies downstream and the lowered cost is exactly 2^c (Table I).
+// ---------------------------------------------------------------------------
+class McryExpandPass final : public Pass {
+ public:
+  std::string_view name() const override { return "mcry-expand"; }
+  unsigned preserves() const override {
+    return kPreservesPreparation | kPreservesCoupling;
+  }
+
+  bool run(Circuit& circuit, const PassOptions&) const override {
+    bool changed = false;
+    Circuit out(circuit.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+      if (g.kind() == GateKind::kMCRy) {
+        out.append(mcry_to_ucry(g));
+        changed = true;
+      } else {
+        out.append(g);
+      }
+    }
+    if (changed) circuit = std::move(out);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ucr-gray-lower: multiplexors and controlled rotations down to the
+// primitive {X, Ry, Rz, CNOT} stream — UCRy/UCRz via the gray-code walk,
+// CRy via the 2-CNOT form, negative-control CNOTs via X conjugation, and
+// (with PassOptions::elide_zero_rotations) trivial rotations dropped.
+// MCRy is accepted too (embedded first) so the pass is total even when
+// run outside the staged sequence.
+// ---------------------------------------------------------------------------
+class UcrGrayLowerPass final : public Pass {
+ public:
+  std::string_view name() const override { return "ucr-gray-lower"; }
+  unsigned preserves() const override {
+    return kPreservesPreparation | kPreservesCoupling;
+  }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    const LoweringOptions lowering = lowering_view(options);
+    auto trivial = [&](const Gate& g) {
+      return lowering.elide_zero_rotations &&
+             std::abs(g.theta()) <= lowering.angle_epsilon;
+    };
+    bool changed = false;
+    Circuit out(circuit.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+      switch (g.kind()) {
+        case GateKind::kX:
+        case GateKind::kCZ:
+        case GateKind::kISwap:
+        case GateKind::kRZZ:
+          out.append(g);
+          break;
+        case GateKind::kRy:
+        case GateKind::kRz:
+          if (trivial(g)) {
+            changed = true;
+          } else {
+            out.append(g);
+          }
+          break;
+        case GateKind::kCNOT: {
+          const ControlLiteral c = g.controls()[0];
+          if (c.positive) {
+            out.append(g);
+          } else {
+            out.append(Gate::x(c.qubit));
+            out.append(Gate::cnot(c.qubit, g.target()));
+            out.append(Gate::x(c.qubit));
+            changed = true;
+          }
+          break;
+        }
+        case GateKind::kCRy:
+          emit_cry(out, g.controls()[0], g.target(), g.theta());
+          changed = true;
+          break;
+        case GateKind::kMCRy:
+        case GateKind::kUCRy: {
+          const Gate u = mcry_to_ucry(g);
+          std::vector<int> controls;
+          for (const auto& c : u.controls()) controls.push_back(c.qubit);
+          emit_ucry(out, controls, u.target(), u.angles(), lowering);
+          changed = true;
+          break;
+        }
+        case GateKind::kUCRz: {
+          std::vector<int> controls;
+          for (const auto& c : g.controls()) controls.push_back(c.qubit);
+          emit_ucr(out, controls, g.target(), g.angles(), lowering,
+                   /*z_axis=*/true);
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (changed) circuit = std::move(out);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// native-legalize: every CNOT becomes the PassOptions::target's native
+// two-qubit gate plus single-qubit dressing; other gates pass through
+// (composites are the earlier stages' business). The decompositions stay
+// on the CNOT's own wire pair, so routed circuits stay on device edges.
+// All three were verified against the CNOT unitary up to global phase.
+// ---------------------------------------------------------------------------
+class NativeLegalizePass final : public Pass {
+ public:
+  std::string_view name() const override { return "native-legalize"; }
+  unsigned preserves() const override {
+    return kPreservesPreparation | kPreservesCoupling;
+  }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    if (options.target.is_cnot()) return false;
+    bool changed = false;
+    Circuit out(circuit.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+      if (g.kind() != GateKind::kCNOT) {
+        out.append(g);
+        continue;
+      }
+      const ControlLiteral c = g.controls()[0];
+      if (!c.positive) out.append(Gate::x(c.qubit));
+      emit_native_cnot(out, c.qubit, g.target(), options.target);
+      if (!c.positive) out.append(Gate::x(c.qubit));
+      changed = true;
+    }
+    if (changed) circuit = std::move(out);
+    return changed;
+  }
+
+ private:
+  static void emit_native_cnot(Circuit& out, int c, int t,
+                               const Target& target) {
+    switch (target.two_qubit_kind()) {
+      case GateKind::kCZ:
+        // CNOT = H_t CZ H_t with H = X * Ry(pi/2) as an operator
+        // product; in circuit order the Ry precedes the X. Exact.
+        out.append(Gate::ry(t, kPi / 2));
+        out.append(Gate::x(t));
+        out.append(Gate::cz(c, t));
+        out.append(Gate::ry(t, kPi / 2));
+        out.append(Gate::x(t));
+        break;
+      case GateKind::kRZZ:
+        // CZ = Rz_c(pi/2) Rz_t(pi/2) RZZ(-pi/2) up to a global
+        // e^{-i pi/4} (all diagonal, so the order is free), wrapped in
+        // the same Hadamard conjugation as the CZ case.
+        out.append(Gate::ry(t, kPi / 2));
+        out.append(Gate::x(t));
+        out.append(Gate::rz(c, kPi / 2));
+        out.append(Gate::rz(t, kPi / 2));
+        out.append(Gate::rzz(c, t, -kPi / 2));
+        out.append(Gate::ry(t, kPi / 2));
+        out.append(Gate::x(t));
+        break;
+      case GateKind::kISwap:
+        // Two-iSwap realization, up to global phase, with
+        // Rx(th) = [Rz(pi/2); Ry(th); Rz(-pi/2)] in circuit order and
+        // the two adjacent target Rz(pi/2) pre-fused into Rz(pi):
+        //   [Rz_t(pi/2); iSwap; Rx_c(pi/2); iSwap; Rz_t(pi);
+        //    Ry_t(pi/2); Rz_t(-pi/2); Rz_c(-pi/2)]
+        out.append(Gate::rz(t, kPi / 2));
+        out.append(Gate::iswap(c, t));
+        out.append(Gate::rz(c, kPi / 2));
+        out.append(Gate::ry(c, kPi / 2));
+        out.append(Gate::rz(c, -kPi / 2));
+        out.append(Gate::iswap(c, t));
+        out.append(Gate::rz(t, kPi));
+        out.append(Gate::ry(t, kPi / 2));
+        out.append(Gate::rz(t, -kPi / 2));
+        out.append(Gate::rz(c, -kPi / 2));
+        break;
+      case GateKind::kCNOT:
+      default:
+        QSP_ASSERT_MSG(false, "native-legalize: not a two-qubit target");
+    }
+  }
+};
+
 }  // namespace
+
+const std::vector<const Pass*>& lowering_pass_sequence() {
+  static const McryExpandPass mcry_expand;
+  static const UcrGrayLowerPass ucr_gray_lower;
+  static const NativeLegalizePass native_legalize;
+  static const std::vector<const Pass*> passes = {
+      &mcry_expand,
+      &ucr_gray_lower,
+      &native_legalize,
+  };
+  return passes;
+}
 
 Gate mcry_to_ucry(const Gate& gate) {
   if (gate.kind() == GateKind::kUCRy) return gate;
@@ -136,88 +347,39 @@ std::vector<double> ucry_multiplexor_angles(const std::vector<double>& a) {
   return phi;
 }
 
-Circuit lower(const Circuit& circuit, const LoweringOptions& options) {
-  Circuit out(circuit.num_qubits());
-  auto trivial = [&](const Gate& g) {
-    return options.elide_zero_rotations &&
-           std::abs(g.theta()) <= options.angle_epsilon;
-  };
-  for (const Gate& g : circuit.gates()) {
-    switch (g.kind()) {
-      case GateKind::kX:
-        out.append(g);
-        break;
-      case GateKind::kRy:
-        if (!trivial(g)) out.append(g);
-        break;
-      case GateKind::kCNOT: {
-        const ControlLiteral c = g.controls()[0];
-        if (c.positive) {
-          out.append(g);
-        } else {
-          out.append(Gate::x(c.qubit));
-          out.append(Gate::cnot(c.qubit, g.target()));
-          out.append(Gate::x(c.qubit));
-        }
-        break;
-      }
-      case GateKind::kCRy:
-        emit_cry(out, g.controls()[0], g.target(), g.theta());
-        break;
-      case GateKind::kMCRy: {
-        // Embed into a UCRy whose only nonzero pattern angle sits at the
-        // pattern selected by the control polarities. The Walsh transform
-        // of a one-hot angle vector is dense, so no elision applies and the
-        // lowered cost is exactly 2^c, matching the Table-I model.
-        const Gate u = mcry_to_ucry(g);
-        std::vector<int> controls;
-        for (const auto& c : u.controls()) controls.push_back(c.qubit);
-        emit_ucry(out, controls, u.target(), u.angles(), options);
-        break;
-      }
-      case GateKind::kUCRy: {
-        std::vector<int> controls;
-        for (const auto& c : g.controls()) controls.push_back(c.qubit);
-        emit_ucry(out, controls, g.target(), g.angles(), options);
-        break;
-      }
-      case GateKind::kRz:
-        if (!trivial(g)) out.append(g);
-        break;
-      case GateKind::kUCRz: {
-        std::vector<int> controls;
-        for (const auto& c : g.controls()) controls.push_back(c.qubit);
-        emit_ucr(out, controls, g.target(), g.angles(), options,
-                 /*z_axis=*/true);
-        break;
-      }
-    }
+Circuit lower_onto(const Circuit& circuit, const Target& target,
+                   const LoweringOptions& options) {
+  PassOptions pass_options;
+  pass_options.angle_epsilon = options.angle_epsilon;
+  pass_options.elide_zero_rotations = options.elide_zero_rotations;
+  pass_options.target = target;
+  Circuit out = circuit;
+  for (const Pass* pass : lowering_pass_sequence()) {
+    pass->run(out, pass_options);
   }
   return out;
 }
 
+Circuit lower(const Circuit& circuit, const LoweringOptions& options) {
+  // Identity-target staged lowering. Every stage rewrites gates locally
+  // and in order, so the composition is gate-for-gate identical to the
+  // historical monolithic walk (regression-pinned in tests/test_lowering).
+  return lower_onto(circuit, Target::cnot(), options);
+}
+
 std::int64_t lowered_cnot_count(const Circuit& lowered) {
-  std::int64_t count = 0;
-  for (const Gate& g : lowered.gates()) {
-    switch (g.kind()) {
-      case GateKind::kCNOT:
-        ++count;
-        break;
-      case GateKind::kX:
-      case GateKind::kRy:
-      case GateKind::kRz:
-        break;
-      default:
-        throw std::invalid_argument(
-            "lowered_cnot_count: circuit contains non-primitive gates");
-    }
-  }
-  return count;
+  return two_qubit_gate_count(lowered, Target::cnot());
 }
 
 std::int64_t count_cnots_after_lowering(const Circuit& circuit,
                                         const LoweringOptions& options) {
   return lowered_cnot_count(lower(circuit, options));
+}
+
+std::int64_t count_two_qubit_after_lowering(const Circuit& circuit,
+                                            const Target& target,
+                                            const LoweringOptions& options) {
+  return two_qubit_gate_count(lower_onto(circuit, target, options), target);
 }
 
 }  // namespace qsp

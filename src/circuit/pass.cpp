@@ -6,9 +6,10 @@ namespace {
 /// How a gate acts on one of its wires, for the commutation test.
 enum class WireRole {
   kNone,      ///< gate does not touch the wire
-  kDiagonal,  ///< control literal, or any wire of Rz/UCRz (diagonal ops)
+  kDiagonal,  ///< control literal, or any wire of Rz/UCRz/CZ/RZZ
   kXAction,   ///< Pauli-X on the wire (target of X/CNOT)
   kRyAction,  ///< y-rotation on the wire (target of Ry/CRy/MCRy/UCRy)
+  kOpaque,    ///< no commuting structure exposed (either wire of iSwap)
 };
 
 bool is_control_wire(const Gate& g, int wire) {
@@ -41,6 +42,21 @@ WireRole role_on(const Gate& g, int wire) {
     case GateKind::kUCRy:
       if (wire == g.target()) return WireRole::kRyAction;
       if (is_control_wire(g, wire)) return WireRole::kDiagonal;
+      return WireRole::kNone;
+    case GateKind::kCZ:
+    case GateKind::kRZZ:
+      // Diagonal on both wires (diag(1,1,1,-1) / the Z(x)Z exponential),
+      // so they commute with anything else diagonal on the shared wires.
+      if (wire == g.target() || is_control_wire(g, wire)) {
+        return WireRole::kDiagonal;
+      }
+      return WireRole::kNone;
+    case GateKind::kISwap:
+      // Swaps amplitude between its wires: neither diagonal, X-like nor
+      // y-rotation-like. Opaque wires never commute past anything.
+      if (wire == g.target() || is_control_wire(g, wire)) {
+        return WireRole::kOpaque;
+      }
       return WireRole::kNone;
   }
   return WireRole::kNone;
@@ -75,8 +91,8 @@ bool gates_commute(const Gate& a, const Gate& b) {
     if (ra == WireRole::kRyAction && rb == WireRole::kRyAction) continue;
     // Mixed modes on a shared wire: one gate rewrites the value the other
     // reads (the MCRy-control trap: a CNOT *targeting* an MCRy control
-    // wire), or the single-qubit actions differ in axis. Not provably
-    // commuting — report false.
+    // wire), the single-qubit actions differ in axis, or a wire is opaque
+    // (iSwap). Not provably commuting — report false.
     return false;
   }
   return true;

@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "circuit/circuit.hpp"
+#include "circuit/target.hpp"
 
 namespace qsp {
 
@@ -51,6 +52,14 @@ struct PassOptions {
   /// Commutation-aware passes walk at most this many surviving gates
   /// backward per candidate, bounding worst-case quadratic scans.
   int commute_window = 128;
+  /// Backend descriptor read by the lowering stages (lowering.hpp): the
+  /// native-legalize pass rewrites every CNOT into this target's native
+  /// two-qubit gate. The default CNOT target makes legalization a no-op.
+  Target target = Target::cnot();
+  /// Lowering stages: skip zero rotations in multiplexors and fuse the
+  /// freed CNOT pairs (LoweringOptions::elide_zero_rotations semantics).
+  /// Off, a UCRy over c controls costs exactly 2^c CNOTs (Table I).
+  bool elide_zero_rotations = false;
 };
 
 /// Accounting for one pass application. Deltas are before - after, so
@@ -88,8 +97,9 @@ class Pass {
   /// Stable kebab-case identity ("dead-rotation", "cnot-commute-fold").
   virtual std::string_view name() const = 0;
 
-  /// Bitmask of kPreserves* flags. Every built-in pass preserves all
-  /// three; future lowering passes may legitimately drop kPreservesGateSet.
+  /// Bitmask of kPreserves* flags. Every built-in optimization pass
+  /// preserves all three; the lowering stages (lowering.hpp) legitimately
+  /// drop kPreservesGateSet — they exist to change the gate set.
   virtual unsigned preserves() const = 0;
 
   /// Rewrite `circuit` in place; returns true if anything changed.

@@ -20,9 +20,18 @@ namespace qsp {
 struct PipelineOptions {
   OptLevel level = OptLevel::kO1;
   PassOptions pass;
-  /// Fixpoint iterations over the level's pass list. Every productive
-  /// pass application strictly decreases the gate count, so this is a
-  /// safety cap, not a tuning knob; 0 means iterate until no change.
+  /// Append the staged lowering passes (lowering.hpp: mcry-expand,
+  /// ucr-gray-lower, native-legalize) after the level's optimization
+  /// passes, so one fixpoint loop both optimizes and legalizes onto
+  /// `pass.target`. The lowering stages are productive exactly once;
+  /// later iterations only run the cleanup passes over the native
+  /// stream. At O0 this degenerates to plain lower_onto().
+  bool lower_to_target = false;
+  /// Fixpoint iterations over the pass list. Every productive
+  /// optimization pass application strictly decreases the gate count
+  /// (the lowering stages may grow it, but each is productive at most
+  /// once), so this is a safety cap, not a tuning knob; 0 means iterate
+  /// until no change.
   int max_iterations = 0;
   /// Re-verify preparation equivalence after every pass application:
   /// simulate the circuit before and after the pass from |0...0> (complex

@@ -11,7 +11,12 @@
 namespace qsp {
 
 std::string to_qasm(const Circuit& circuit, const LoweringOptions& options) {
-  const Circuit lowered = lower(circuit, options);
+  return to_qasm(circuit, Target::cnot(), options);
+}
+
+std::string to_qasm(const Circuit& circuit, const Target& target,
+                    const LoweringOptions& options) {
+  const Circuit lowered = lower_onto(circuit, target, options);
   std::ostringstream os;
   os.precision(17);
   os << "OPENQASM 2.0;\n";
@@ -33,8 +38,20 @@ std::string to_qasm(const Circuit& circuit, const LoweringOptions& options) {
         os << "cx q[" << g.controls()[0].qubit << "],q[" << g.target()
            << "];\n";
         break;
+      case GateKind::kCZ:
+        os << "cz q[" << g.controls()[0].qubit << "],q[" << g.target()
+           << "];\n";
+        break;
+      case GateKind::kISwap:
+        os << "iswap q[" << g.controls()[0].qubit << "],q[" << g.target()
+           << "];\n";
+        break;
+      case GateKind::kRZZ:
+        os << "rzz(" << g.theta() << ") q[" << g.controls()[0].qubit
+           << "],q[" << g.target() << "];\n";
+        break;
       default:
-        QSP_ASSERT_MSG(false, "lower() must remove composite gates");
+        QSP_ASSERT_MSG(false, "lower_onto() must remove composite gates");
     }
   }
   return os.str();
@@ -157,6 +174,19 @@ Circuit from_qasm(const std::string& qasm) {
       p.consume(",");
       const int target = p.qubit_ref();
       circuit->append(Gate::cnot(control, target));
+    } else if (mnemonic == "cz" || mnemonic == "iswap") {
+      const int a = p.qubit_ref();
+      p.consume(",");
+      const int b = p.qubit_ref();
+      circuit->append(mnemonic == "cz" ? Gate::cz(a, b) : Gate::iswap(a, b));
+    } else if (mnemonic == "rzz") {
+      p.consume("(");
+      const double theta = p.angle();
+      p.consume(")");
+      const int a = p.qubit_ref();
+      p.consume(",");
+      const int b = p.qubit_ref();
+      circuit->append(Gate::rzz(a, b, theta));
     } else {
       p.fail("unsupported gate '" + mnemonic + "'");
     }

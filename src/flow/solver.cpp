@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "arch/routing.hpp"
@@ -156,6 +157,7 @@ Circuit Solver::exact_tail(const QuantumState& reduced, bool* used_exact,
 WorkflowResult Solver::prepare(const QuantumState& target) const {
   const Deadline deadline(options_.time_budget_seconds);
   WorkflowResult result;
+  result.target = std::string(options_.target.name());
   const int n = target.num_qubits();
   const CouplingGraph* device = options_.coupling.get();
   if (device != nullptr && device->num_qubits() < n) {
@@ -165,13 +167,21 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   // Device register width; equals n when no coupling is set.
   const int nw = device != nullptr ? device->num_qubits() : n;
   // Route the assembled workflow circuit onto the device so the result
-  // satisfies respects_coupling (CNOTs on edges, composites lowered),
-  // then run the pass pipeline at the requested -O level. The pipeline
-  // only removes or fuses gates in place, so routed circuits stay routed.
+  // satisfies respects_coupling (two-qubit gates on edges, composites
+  // lowered), then run the pass pipeline at the requested -O level. With
+  // a non-CNOT target the pipeline also runs the staged lowering, so
+  // optimization and legalization share one fixpoint; the native
+  // decompositions stay on each CNOT's own wire pair, so routed circuits
+  // stay routed.
   const auto routed_onto_device = [&](Circuit circuit) {
     if (device != nullptr) circuit = route_circuit(circuit, *device);
     PipelineOptions pipeline;
     pipeline.level = options_.opt_level;
+    if (!options_.target.is_cnot()) {
+      pipeline.lower_to_target = true;
+      pipeline.pass.target = options_.target;
+      pipeline.pass.elide_zero_rotations = true;
+    }
     return optimize_circuit(circuit, pipeline, &result.passes);
   };
   // Selection metric for competing tails/paths: lowered CNOT count,

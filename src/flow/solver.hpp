@@ -5,10 +5,12 @@
 // default), then finish with the exact kernel.
 
 #include <memory>
+#include <string>
 
 #include "arch/coupling.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/pass_pipeline.hpp"
+#include "circuit/target.hpp"
 #include "core/exact_synthesizer.hpp"
 #include "prep/mflow.hpp"
 #include "state/quantum_state.hpp"
@@ -81,6 +83,17 @@ struct WorkflowOptions {
   /// coupling conformance and gate-set membership, so routed outputs stay
   /// routed and verification is unaffected.
   OptLevel opt_level = OptLevel::kO1;
+  /// Backend descriptor (circuit/target.hpp). The default CNOT target
+  /// reproduces the historical behavior exactly: prepare() returns the
+  /// optimized {1-qubit, CNOT} circuit (routed when `coupling` is set)
+  /// without legalization. A non-CNOT target arms the pipeline's staged
+  /// lowering (PipelineOptions::lower_to_target), so the returned circuit
+  /// is fully native for the target — composites lowered, every CNOT
+  /// rewritten into the native two-qubit gate on the same wire pair (a
+  /// routed circuit therefore stays on device edges). Path/tail selection
+  /// still compares CNOT-level costs; legalization multiplies every
+  /// competitor by the same per-CNOT factor, so the choice is unchanged.
+  Target target = Target::cnot();
 
   WorkflowOptions() {
     mflow.strategy = MFlowOptions::PairStrategy::kCheapest;
@@ -114,8 +127,12 @@ struct WorkflowResult {
   /// The preparation. With WorkflowOptions::coupling set, the register is
   /// the device register (target qubits first, spare device qubits are
   /// ancillas returning to |0>) and the circuit is routed: only 1-qubit
-  /// gates and CNOTs on device edges.
+  /// gates and two-qubit natives on device edges. With a non-CNOT
+  /// WorkflowOptions::target the circuit is native for that target.
   Circuit circuit{1};
+  /// Name of the backend target the circuit was produced for ("cnot",
+  /// "cz", "iswap", "rzz") — bench rows carry it alongside opt_level.
+  std::string target = "cnot";
   /// Accounting of the pass pipeline run on `circuit` at
   /// WorkflowOptions::opt_level (empty at O0 / when nothing ran).
   PipelineReport passes;

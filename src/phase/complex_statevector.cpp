@@ -186,6 +186,45 @@ void ComplexStatevector::apply(const Gate& gate) {
     case GateKind::kUCRz:
       apply_pairs(gate, /*z_axis=*/true);
       break;
+    case GateKind::kCZ: {
+      // diag(1, 1, 1, -1): negate amplitudes with both wires set.
+      const BasisIndex both = (BasisIndex{1} << gate.controls()[0].qubit) |
+                              (BasisIndex{1} << gate.target());
+      for (std::size_t i = 0; i < amp_.size(); ++i) {
+        if ((static_cast<BasisIndex>(i) & both) == both) amp_[i] = -amp_[i];
+      }
+      break;
+    }
+    case GateKind::kRZZ: {
+      // exp(-i theta/2 Z(x)Z): e^{-i theta/2} on equal wire bits,
+      // e^{+i theta/2} on unequal.
+      const std::complex<double> eq = std::polar(1.0, -gate.theta() / 2);
+      const std::complex<double> ne = std::polar(1.0, gate.theta() / 2);
+      const BasisIndex a = BasisIndex{1} << gate.controls()[0].qubit;
+      const BasisIndex b = BasisIndex{1} << gate.target();
+      for (std::size_t i = 0; i < amp_.size(); ++i) {
+        const bool ba = (static_cast<BasisIndex>(i) & a) != 0;
+        const bool bb = (static_cast<BasisIndex>(i) & b) != 0;
+        amp_[i] *= (ba == bb) ? eq : ne;
+      }
+      break;
+    }
+    case GateKind::kISwap: {
+      // |01> -> i|10>, |10> -> i|01>; diagonal states untouched.
+      const BasisIndex a = BasisIndex{1} << gate.controls()[0].qubit;
+      const BasisIndex b = BasisIndex{1} << gate.target();
+      const std::complex<double> phase_i{0.0, 1.0};
+      for (std::size_t i = 0; i < amp_.size(); ++i) {
+        const BasisIndex bi = static_cast<BasisIndex>(i);
+        if ((bi & a) != 0 && (bi & b) == 0) {
+          const std::size_t j = static_cast<std::size_t>((bi ^ a) | b);
+          const std::complex<double> lo = amp_[i];
+          amp_[i] = phase_i * amp_[j];
+          amp_[j] = phase_i * lo;
+        }
+      }
+      break;
+    }
   }
 }
 

@@ -82,6 +82,9 @@ void SynthesisService::worker_loop() {
       if (options_.opt_level.has_value()) {
         options.opt_level = *options_.opt_level;
       }
+      if (options_.target.has_value()) {
+        options.target = *options_.target;
+      }
       const Timer timer;
       const Solver solver(options);
       ServiceResponse response;

@@ -43,6 +43,11 @@ struct SynthesisServiceOptions {
   /// without touching per-request options. Unset: requests keep their
   /// own level.
   std::optional<OptLevel> opt_level;
+  /// Service-wide backend target. When set, overrides every request's
+  /// WorkflowOptions::target — the fleet-deployment analogue of
+  /// `opt_level` for hardware with a fixed native gate set. Unset:
+  /// requests keep their own target.
+  std::optional<Target> target;
 };
 
 struct ServiceRequest {

@@ -185,10 +185,25 @@ void Statevector::apply(const Gate& gate) {
     case GateKind::kUCRy:
       apply_ucry(gate);
       break;
+    case GateKind::kCZ: {
+      // diag(1, 1, 1, -1): negate amplitudes where both wires are set.
+      // Real-safe, so the fast simulator keeps CZ-legalized circuits.
+      const BasisIndex both = (BasisIndex{1} << gate.controls()[0].qubit) |
+                              (BasisIndex{1} << gate.target());
+      const BasisIndex size = BasisIndex{1} << num_qubits_;
+      for (BasisIndex i = 0; i < size; ++i) {
+        if ((i & both) == both) amp_[i] = -amp_[i];
+      }
+      break;
+    }
     case GateKind::kRz:
     case GateKind::kUCRz:
       throw std::invalid_argument(
           "Statevector: z-axis rotations need the complex simulator");
+    case GateKind::kISwap:
+    case GateKind::kRZZ:
+      throw std::invalid_argument(
+          "Statevector: iSwap/RZZ need the complex simulator");
   }
 }
 

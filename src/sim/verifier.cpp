@@ -13,7 +13,8 @@ namespace {
 
 bool has_z_axis_gates(const Circuit& circuit) {
   for (const Gate& g : circuit.gates()) {
-    if (g.kind() == GateKind::kRz || g.kind() == GateKind::kUCRz) {
+    if (g.kind() == GateKind::kRz || g.kind() == GateKind::kUCRz ||
+        g.kind() == GateKind::kISwap || g.kind() == GateKind::kRZZ) {
       return true;
     }
   }

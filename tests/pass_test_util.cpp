@@ -199,7 +199,10 @@ double preparation_overlap(const Circuit& a, const Circuit& b) {
   const int n = a.num_qubits();
   const auto has_phase = [](const Circuit& c) {
     for (const Gate& g : c.gates()) {
-      if (g.kind() == GateKind::kRz || g.kind() == GateKind::kUCRz) {
+      // iSwap and RZZ introduce complex amplitudes (CZ stays real, so
+      // CZ-legalized circuits keep the fast real path).
+      if (g.kind() == GateKind::kRz || g.kind() == GateKind::kUCRz ||
+          g.kind() == GateKind::kISwap || g.kind() == GateKind::kRZZ) {
         return true;
       }
     }

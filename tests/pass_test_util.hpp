@@ -51,7 +51,11 @@ Circuit random_coupled_circuit(const CouplingGraph& device, int size, Rng& rng,
 
 /// |<a|b>| of the states the two circuits prepare from |0...0>, via the
 /// conjugate inner product; uses the complex statevector when either
-/// circuit carries z-axis gates. Registers must match.
+/// circuit carries z-axis, iSwap or RZZ gates. Registers must match.
+/// Because the modulus discards the global phase, this is the
+/// cross-gate-set equivalence check for legalized circuits: a circuit
+/// and its lower_onto(target) image must score 1 for every target even
+/// when the native decompositions differ from CNOT by a global phase.
 double preparation_overlap(const Circuit& a, const Circuit& b);
 
 }  // namespace qsp::test

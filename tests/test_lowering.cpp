@@ -3,12 +3,144 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "pass_test_util.hpp"
 #include "sim/statevector.hpp"
+#include "util/bitops.hpp"
 #include "util/rng.hpp"
 
 namespace qsp {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen copy of the pre-refactor monolithic lower() (the single-function
+// implementation the staged passes replaced), kept verbatim as the oracle
+// for the bit-identity regression below: on the identity (CNOT) target the
+// staged pipeline must reproduce this walk gate for gate, because every
+// benchmark table and committed baseline was measured against it.
+// ---------------------------------------------------------------------------
+namespace legacy {
+
+void emit_ucr(Circuit& out, const std::vector<int>& controls, int target,
+              const std::vector<double>& pattern_angles,
+              const LoweringOptions& options, bool z_axis);
+
+void emit_ucry(Circuit& out, const std::vector<int>& controls, int target,
+               const std::vector<double>& pattern_angles,
+               const LoweringOptions& options) {
+  emit_ucr(out, controls, target, pattern_angles, options, /*z_axis=*/false);
+}
+
+void emit_cry(Circuit& out, const ControlLiteral& c, int target,
+              double theta) {
+  const double a = theta / 2;
+  const double b = c.positive ? -theta / 2 : theta / 2;
+  out.append(Gate::ry(target, a));
+  out.append(Gate::cnot(c.qubit, target));
+  out.append(Gate::ry(target, b));
+  out.append(Gate::cnot(c.qubit, target));
+}
+
+void emit_ucr(Circuit& out, const std::vector<int>& controls, int target,
+              const std::vector<double>& pattern_angles,
+              const LoweringOptions& options, bool z_axis) {
+  auto rotation = [&](double theta) {
+    return z_axis ? Gate::rz(target, theta) : Gate::ry(target, theta);
+  };
+  const std::size_t c = controls.size();
+  if (c == 0) {
+    if (std::abs(pattern_angles[0]) > options.angle_epsilon ||
+        !options.elide_zero_rotations) {
+      out.append(rotation(pattern_angles[0]));
+    }
+    return;
+  }
+  const std::vector<double> phi = ucry_multiplexor_angles(pattern_angles);
+  const std::uint32_t slots = std::uint32_t{1} << c;
+  std::uint32_t pending_mask = 0;
+  auto flush = [&] {
+    for (std::size_t b = 0; b < c; ++b) {
+      if ((pending_mask >> b) & 1u) {
+        out.append(Gate::cnot(controls[b], target));
+      }
+    }
+    pending_mask = 0;
+  };
+  for (std::uint32_t j = 0; j < slots; ++j) {
+    const bool zero = std::abs(phi[j]) <= options.angle_epsilon;
+    if (!options.elide_zero_rotations || !zero) {
+      flush();
+      out.append(rotation(phi[j]));
+    }
+    const int change =
+        (j + 1 == slots) ? static_cast<int>(c) - 1 : gray_change_bit(j);
+    pending_mask ^= std::uint32_t{1} << change;
+  }
+  flush();
+}
+
+Circuit lower(const Circuit& circuit, const LoweringOptions& options) {
+  Circuit out(circuit.num_qubits());
+  auto trivial = [&](const Gate& g) {
+    return options.elide_zero_rotations &&
+           std::abs(g.theta()) <= options.angle_epsilon;
+  };
+  for (const Gate& g : circuit.gates()) {
+    switch (g.kind()) {
+      case GateKind::kX:
+        out.append(g);
+        break;
+      case GateKind::kRy:
+        if (!trivial(g)) out.append(g);
+        break;
+      case GateKind::kCNOT: {
+        const ControlLiteral c = g.controls()[0];
+        if (c.positive) {
+          out.append(g);
+        } else {
+          out.append(Gate::x(c.qubit));
+          out.append(Gate::cnot(c.qubit, g.target()));
+          out.append(Gate::x(c.qubit));
+        }
+        break;
+      }
+      case GateKind::kCRy:
+        emit_cry(out, g.controls()[0], g.target(), g.theta());
+        break;
+      case GateKind::kMCRy: {
+        const Gate u = mcry_to_ucry(g);
+        std::vector<int> controls;
+        for (const auto& c : u.controls()) controls.push_back(c.qubit);
+        emit_ucry(out, controls, u.target(), u.angles(), options);
+        break;
+      }
+      case GateKind::kUCRy: {
+        std::vector<int> controls;
+        for (const auto& c : g.controls()) controls.push_back(c.qubit);
+        emit_ucry(out, controls, g.target(), g.angles(), options);
+        break;
+      }
+      case GateKind::kRz:
+        if (!trivial(g)) out.append(g);
+        break;
+      case GateKind::kUCRz: {
+        std::vector<int> controls;
+        for (const auto& c : g.controls()) controls.push_back(c.qubit);
+        emit_ucr(out, controls, g.target(), g.angles(), options,
+                 /*z_axis=*/true);
+        break;
+      }
+      default:
+        // The monolithic lower() predates the device-native kinds; the
+        // seed corpus never contains them.
+        throw std::logic_error("legacy_lower: unexpected gate kind");
+    }
+  }
+  return out;
+}
+
+}  // namespace legacy
 
 /// Unitary-equality check on the full basis: applies both circuits to each
 /// computational basis state and compares the resulting vectors.
@@ -129,6 +261,41 @@ TEST(Lowering, LoweredCountRejectsComposite) {
   Circuit c(2);
   c.append(Gate::cry(0, 1, 0.4));
   EXPECT_THROW(lowered_cnot_count(c), std::invalid_argument);
+}
+
+TEST(Lowering, StagedLoweringBitIdenticalToMonolithic) {
+  // The acceptance bar of the pass split: on the identity (CNOT) target
+  // the staged passes must reproduce the pre-refactor monolithic walk
+  // gate for gate — same kinds, wires, and angle bit patterns (Circuit
+  // operator== compares doubles exactly) — over the full seed corpus,
+  // with and without zero-rotation elision.
+  const auto corpus = test::random_circuit_corpus();
+  LoweringOptions plain;
+  LoweringOptions elide;
+  elide.elide_zero_rotations = true;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Circuit& circuit = corpus[i];
+    ASSERT_EQ(lower(circuit, plain), legacy::lower(circuit, plain))
+        << "corpus circuit " << i << " (n=" << circuit.num_qubits() << ")";
+    ASSERT_EQ(lower(circuit, elide), legacy::lower(circuit, elide))
+        << "corpus circuit " << i << " (n=" << circuit.num_qubits()
+        << ", elided)";
+  }
+}
+
+TEST(Lowering, StagedPassSequenceHasThreeStages) {
+  const auto& stages = lowering_pass_sequence();
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0]->name(), "mcry-expand");
+  EXPECT_EQ(stages[1]->name(), "ucr-gray-lower");
+  EXPECT_EQ(stages[2]->name(), "native-legalize");
+  for (const Pass* stage : stages) {
+    // Lowering legitimately changes the gate set but never the prepared
+    // state or the wire pairs two-qubit gates act on.
+    EXPECT_TRUE(stage->preserves() & kPreservesPreparation) << stage->name();
+    EXPECT_TRUE(stage->preserves() & kPreservesCoupling) << stage->name();
+    EXPECT_FALSE(stage->preserves() & kPreservesGateSet) << stage->name();
+  }
 }
 
 TEST(Lowering, CountAfterLoweringHelper) {

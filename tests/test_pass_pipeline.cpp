@@ -68,7 +68,9 @@ TEST(PassPipeline, LevelsAreNestedSubsets) {
 }
 
 // Every registered pass, alone, over the whole corpus: preparation
-// preserved, cost monotone, gate kinds a subset of the input's.
+// preserved always; cost monotone and gate kinds a subset of the input's
+// for the gate-set-preserving passes (the lowering stages legitimately
+// grow circuits and introduce primitive kinds).
 TEST(PassPipeline, EveryPassSoundOnCorpus) {
   const PassOptions pass_options;
   for (const Circuit& circuit : test::random_circuit_corpus()) {
@@ -77,11 +79,13 @@ TEST(PassPipeline, EveryPassSoundOnCorpus) {
     for (const Pass* pass : PassPipeline::registry()) {
       Circuit rewritten = circuit;
       pass->run(rewritten, pass_options);
-      EXPECT_LE(rewritten.size(), circuit.size()) << pass->name();
-      EXPECT_LE(rewritten.cnot_cost(), circuit.cnot_cost()) << pass->name();
-      for (const Gate& g : rewritten.gates()) {
-        EXPECT_TRUE(kinds_before.count(g.kind()) > 0)
-            << pass->name() << " introduced " << g.to_string();
+      if ((pass->preserves() & kPreservesGateSet) != 0) {
+        EXPECT_LE(rewritten.size(), circuit.size()) << pass->name();
+        EXPECT_LE(rewritten.cnot_cost(), circuit.cnot_cost()) << pass->name();
+        for (const Gate& g : rewritten.gates()) {
+          EXPECT_TRUE(kinds_before.count(g.kind()) > 0)
+              << pass->name() << " introduced " << g.to_string();
+        }
       }
       EXPECT_NEAR(test::preparation_overlap(circuit, rewritten), 1.0,
                   kOverlapTolerance)

@@ -64,6 +64,43 @@ TEST(Qasm, EmitParseRoundtripIsIdentityOnCorpus) {
   }
 }
 
+// Target-aware twin of the property above: emitting for a backend lowers
+// onto its native set, and the parser reads every native mnemonic back,
+// so emit -> parse equals lower_onto for all four built-in targets.
+TEST(Qasm, TargetAwareEmitParseRoundtripOnCorpus) {
+  const auto corpus = test::random_circuit_corpus();
+  for (const Target& target : Target::builtin()) {
+    for (const Circuit& circuit : corpus) {
+      const Circuit lowered = lower_onto(circuit, target);
+      const Circuit parsed = from_qasm(to_qasm(circuit, target));
+      ASSERT_EQ(parsed, lowered)
+          << target.name() << " n=" << circuit.num_qubits();
+    }
+  }
+}
+
+TEST(Qasm, NativeMnemonics) {
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  EXPECT_NE(to_qasm(c, Target::cz()).find("cz q["), std::string::npos);
+  EXPECT_NE(to_qasm(c, Target::iswap()).find("iswap q["), std::string::npos);
+  EXPECT_NE(to_qasm(c, Target::rzz()).find("rzz("), std::string::npos);
+  // The CNOT-target overload matches the historical emitter exactly.
+  EXPECT_EQ(to_qasm(c, Target::cnot()), to_qasm(c));
+}
+
+TEST(Qasm, ParsesNativeGates) {
+  const Circuit parsed = from_qasm(
+      "qreg q[2];\n"
+      "cz q[0],q[1];\n"
+      "iswap q[1],q[0];\n"
+      "rzz(-0.5) q[0],q[1];\n");
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.gates()[0], Gate::cz(0, 1));
+  EXPECT_EQ(parsed.gates()[1], Gate::iswap(0, 1));  // canonical wire order
+  EXPECT_EQ(parsed.gates()[2], Gate::rzz(0, 1, -0.5));
+}
+
 TEST(Qasm, RoundtripCoversRoutedDeviceRegisters) {
   const CouplingGraph device = CouplingGraph::line(5);
   Rng rng(0x9A5);

@@ -99,6 +99,34 @@ TEST(SynthesisService, ServiceOptLevelOverridesRequests) {
   verify_preparation_or_throw(raw.result.circuit, make_w(4));
 }
 
+TEST(SynthesisService, ServiceTargetOverridesRequests) {
+  // A fleet deployed for one backend pins the gate set the same way it
+  // pins the opt level: a request asking for CNOT still comes back
+  // legalized for the service's target.
+  SynthesisServiceOptions pinned;
+  pinned.num_workers = 1;
+  pinned.target = Target::cz();
+  SynthesisService service(pinned);
+  WorkflowOptions wants_cnot;  // default target
+  const ServiceResponse response =
+      service.submit(request_for(make_ghz(4), wants_cnot)).get();
+  ASSERT_TRUE(response.result.found);
+  EXPECT_EQ(response.result.target, "cz");
+  EXPECT_TRUE(Target::cz().is_native_circuit(response.result.circuit));
+  verify_preparation_or_throw(response.result.circuit, make_ghz(4));
+
+  // Unpinned: the per-request target is honored.
+  SynthesisService unpinned{SynthesisServiceOptions{}};
+  WorkflowOptions wants_rzz;
+  wants_rzz.target = Target::rzz();
+  const ServiceResponse rzz =
+      unpinned.submit(request_for(make_ghz(4), wants_rzz)).get();
+  ASSERT_TRUE(rzz.result.found);
+  EXPECT_EQ(rzz.result.target, "rzz");
+  EXPECT_TRUE(Target::rzz().is_native_circuit(rzz.result.circuit));
+  verify_preparation_or_throw(rzz.result.circuit, make_ghz(4));
+}
+
 TEST(SynthesisService, SameClassVariantsShareOneSearch) {
   // "Per-user variants": a permuted copy of a cached state lands in the
   // same canonical class and is served by witness rewiring.

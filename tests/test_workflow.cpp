@@ -190,6 +190,53 @@ TEST(Workflow, CouplingOutputConformsAndVerifies) {
   }
 }
 
+TEST(Workflow, BackendTargetProducesNativeVerifiedCircuit) {
+  // End-to-end backend awareness: with a non-CNOT target the workflow
+  // output is native for that backend (the staged lowering ran inside the
+  // pipeline) and still prepares the state; the result names its target.
+  Rng rng(415);
+  const QuantumState dense = make_random_uniform(5, 20, rng);
+  for (const Target& target : Target::builtin()) {
+    WorkflowOptions options;
+    options.target = target;
+    const Solver solver(options);
+    for (const QuantumState& state :
+         {make_ghz(4), make_dicke(4, 2), dense}) {
+      const WorkflowResult res = solver.prepare(state);
+      ASSERT_TRUE(res.found) << target.name() << " " << state.to_string();
+      EXPECT_EQ(res.target, target.name());
+      if (!target.is_cnot()) {
+        // The identity target keeps the historical contract (composite
+        // rotations allowed, benches lower afterwards); every other
+        // backend gets a fully legalized stream.
+        EXPECT_TRUE(target.is_native_circuit(res.circuit))
+            << target.name() << " " << state.to_string();
+      }
+      verify_preparation_or_throw(res.circuit, state);
+    }
+  }
+}
+
+TEST(Workflow, BackendTargetComposesWithCoupling) {
+  // Routing then legalization: the legalized output must stay on the
+  // device edges (native decompositions never leave the CNOT's wire pair)
+  // and conform under the target-aware respects_coupling.
+  for (const Target& target : {Target::cz(), Target::iswap()}) {
+    WorkflowOptions options;
+    options.target = target;
+    options.coupling =
+        std::make_shared<CouplingGraph>(CouplingGraph::line(5));
+    const Solver solver(options);
+    const QuantumState state = make_ghz(5);
+    const WorkflowResult res = solver.prepare(state);
+    ASSERT_TRUE(res.found) << target.name();
+    EXPECT_TRUE(target.is_native_circuit(res.circuit)) << target.name();
+    EXPECT_TRUE(respects_coupling(res.circuit, *options.coupling, target))
+        << target.name();
+    verify_preparation_or_throw(res.circuit, state);
+  }
+}
+
 TEST(Workflow, CouplingExactTailHostsCoreOnConnectedSubgraph) {
   // Bell(0,5) on a line: the core's wires {0, 5} induce a disconnected
   // subgraph, so the tail must grow a connected host through the middle

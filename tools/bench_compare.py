@@ -42,11 +42,15 @@ import sys
 
 
 def row_key(row):
+    # `target` (backend gate set) is part of the identity of a row: the
+    # same instance legalized for cz/iswap/rzz is a different measurement.
+    # Rows predating the field (and CNOT-only sweeps that omit it) get
+    # None, so old baselines keep matching.
     if "kernel" in row:
-        return ("kernel", row["kernel"], row.get("n"))
+        return ("kernel", row["kernel"], row.get("n"), row.get("target"))
     if "instance" in row:
         return ("search", row["instance"], row.get("method"),
-                row.get("threads"))
+                row.get("threads"), row.get("target"))
     return None
 
 
