@@ -16,6 +16,7 @@
 #include "circuit/cost_model.hpp"
 #include "circuit/lowering.hpp"
 #include "circuit/pass_pipeline.hpp"
+#include "circuit/qasm.hpp"
 #include "flow/solver.hpp"
 #include "state/state_factory.hpp"
 #include "util/table.hpp"
@@ -114,7 +115,11 @@ int main() {
            {"optimal", false},
            {"seconds", seconds},
            {"threads", bench::bench_threads()},
-           {"verified", vc}});
+           {"verified", vc},
+           // The emitted circuit itself, so the JSONL artifact is
+           // self-auditing: `qsplint --jsonl --target <t> results.jsonl`
+           // re-lints every row's output circuit offline.
+           {"qasm", to_qasm(cleaned, target)}});
     }
   }
   std::cout << table.render() << "\n";

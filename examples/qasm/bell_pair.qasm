@@ -1,0 +1,6 @@
+// Bell pair (|00> + |11>)/sqrt(2) in the real-amplitude gate subset.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+ry(1.5707963267948966) q[0];
+cx q[0],q[1];

@@ -1,0 +1,11 @@
+// 4-qubit GHZ chain: (|0000> + |1111>)/sqrt(2).
+// ry(pi/2) puts q[0] into (|0> + |1>)/sqrt(2); the CNOT chain copies it.
+// Every two-qubit gate is nearest-neighbor, so this also lints clean
+// against --coupling line:4.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+ry(1.5707963267948966) q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];

@@ -9,7 +9,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "arch/coupling.hpp"
 #include "circuit/cost_model.hpp"
+#include "circuit/lint.hpp"
 #include "circuit/lowering.hpp"
 #include "phase/complex_statevector.hpp"
 #include "sim/statevector.hpp"
@@ -371,6 +373,34 @@ void verify_pass_application(const Pass& pass, const Circuit& before,
   }
 }
 
+/// Release-mode lint gate after one productive pass application: the
+/// structural error rules over the rewritten circuit plus pass-contract
+/// consistency against the recorded pre-pass facts. Warning-severity
+/// style rules stay off here — gray-code lowering legitimately emits
+/// zero-angle rotations unless elide_zero_rotations is set — so a clean
+/// pipeline produces zero diagnostics and any diagnostic is an error.
+void lint_pass_gate(const Pass& pass, const CircuitFacts& before,
+                    const Circuit& after, const PipelineOptions& options) {
+  LintOptions lint_options;
+  lint_options.degenerate_rotations = false;
+  lint_options.identity_pairs = false;
+  lint_options.coupling = options.pass.target.coupling;
+  LintReport report = lint_pass_application(pass, before, after, lint_options);
+  // Per-gate coupling conformance only when the input already conformed:
+  // standalone pipelines over unrouted circuits are not an error.
+  if (!before.coupling_conforms) lint_options.coupling = nullptr;
+  LintReport structural = lint_circuit(after, lint_options);
+  report.diagnostics.insert(report.diagnostics.end(),
+                            structural.diagnostics.begin(),
+                            structural.diagnostics.end());
+  if (report.has_errors()) {
+    std::ostringstream os;
+    os << "PassPipeline: lint failed after pass '" << pass.name() << "':\n"
+       << report.to_string();
+    throw std::logic_error(os.str());
+  }
+}
+
 }  // namespace
 
 PassPipeline::PassPipeline(PipelineOptions options)
@@ -455,11 +485,18 @@ Circuit PassPipeline::run(const Circuit& circuit,
       pr.cnot_cost_before = current.cnot_cost();
       std::optional<Circuit> before;
       if (options_.verify_each_pass) before = current;
+      std::optional<CircuitFacts> facts;
+      if (options_.lint_each_pass) {
+        facts = circuit_facts(current, options_.pass.target.coupling.get());
+      }
       const bool changed = pass->run(current, options_.pass);
       pr.changed = changed;
       pr.gates_after = current.size();
       pr.depth_after = current.depth();
       pr.cnot_cost_after = current.cnot_cost();
+      if (changed && options_.lint_each_pass) {
+        lint_pass_gate(*pass, *facts, current, options_);
+      }
       if (changed && options_.verify_each_pass) {
         verify_pass_application(*pass, *before, current, options_);
       }

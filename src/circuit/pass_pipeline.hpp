@@ -33,6 +33,14 @@ struct PipelineOptions {
   /// once), so this is a safety cap, not a tuning knob; 0 means iterate
   /// until no change.
   int max_iterations = 0;
+  /// Lint after every productive pass application — always on, release
+  /// builds included (the no-simulation complement to verify_each_pass):
+  /// structural rules (wire bounds, overlapping controls, canonical
+  /// symmetric wire order, coupling conformance when the before-circuit
+  /// conformed to pass.target.coupling) plus pass-contract consistency
+  /// against the pass's preserves() declaration. Any error-severity
+  /// diagnostic throws std::logic_error naming the pass and the rule.
+  bool lint_each_pass = true;
   /// Re-verify preparation equivalence after every pass application:
   /// simulate the circuit before and after the pass from |0...0> (complex
   /// statevector when z-axis gates are present, real otherwise) and

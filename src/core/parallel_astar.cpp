@@ -2,13 +2,13 @@
 
 #include <atomic>
 #include <iterator>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/search_cache.hpp"
 #include "core/search_core.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace qsp {
@@ -27,8 +27,8 @@ struct Mail {
 struct alignas(64) Shard {
   ClassedArena arena;
   OpenQueue open;
-  std::mutex inbox_mutex;
-  std::vector<Mail> inbox;
+  Mutex inbox_mutex;
+  std::vector<Mail> inbox QSP_GUARDED_BY(inbox_mutex);
   /// f of the shard's best frontier entry, (re)published every time the
   /// worker is about to go idle; kInfiniteCost when the queue is empty.
   std::atomic<std::int64_t> published_min_f{0};
@@ -48,8 +48,9 @@ struct SharedState {
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> received{0};
   std::atomic<std::int64_t> incumbent_g{kInfiniteCost};
-  std::mutex incumbent_mutex;
-  std::int64_t incumbent_gid = SearchNode::kNoParent;
+  Mutex incumbent_mutex;
+  std::int64_t incumbent_gid QSP_GUARDED_BY(incumbent_mutex) =
+      SearchNode::kNoParent;
   std::atomic<bool> done{false};
   std::atomic<bool> aborted{false};
 };
@@ -100,13 +101,20 @@ class HdaStar {
     }
     result.stats.nodes_generated = shared_.nodes_generated.load();
     result.stats.seconds = timer.seconds();
+    // Post-join harvest of the goal id. The join is a happens-before
+    // edge, but the read was unguarded until the thread-safety
+    // annotations flagged it — take the (now uncontended) lock so the
+    // access is provable rather than merely argued.
+    std::int64_t goal = SearchNode::kNoParent;
+    {
+      const MutexLock lock(shared_.incumbent_mutex);
+      goal = shared_.incumbent_gid;
+    }
     result.stats.completed =
-        !shared_.aborted.load() &&
-        shared_.incumbent_gid != SearchNode::kNoParent;
+        !shared_.aborted.load() && goal != SearchNode::kNoParent;
     result.stats.budget_exhausted = shared_.aborted.load();
 
-    if (shared_.incumbent_gid != SearchNode::kNoParent) {
-      const std::int64_t goal = shared_.incumbent_gid;
+    if (goal != SearchNode::kNoParent) {
       result.found = true;
       // Certified optimal only on a clean termination with an exhaustive
       // arc set; a budget abort downgrades the incumbent to an anytime
@@ -157,7 +165,7 @@ class HdaStar {
       // termination check can never observe a half-processed message.
       batch.clear();
       {
-        const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+        const MutexLock lock(shard.inbox_mutex);
         batch.swap(shard.inbox);
       }
       if (!batch.empty()) {
@@ -236,7 +244,7 @@ class HdaStar {
       {
         // One bulk append per destination keeps the critical section to a
         // single grow-and-move instead of per-message push_backs.
-        const std::lock_guard<std::mutex> lock(target.inbox_mutex);
+        const MutexLock lock(target.inbox_mutex);
         target.inbox.insert(target.inbox.end(),
                             std::make_move_iterator(out.begin()),
                             std::make_move_iterator(out.end()));
@@ -246,7 +254,7 @@ class HdaStar {
   }
 
   void offer_incumbent(std::int64_t g, std::int64_t gid) {
-    const std::lock_guard<std::mutex> lock(shared_.incumbent_mutex);
+    const MutexLock lock(shared_.incumbent_mutex);
     if (g < shared_.incumbent_g.load()) {
       shared_.incumbent_gid = gid;
       shared_.incumbent_g.store(g);

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <iterator>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +14,7 @@
 #include "core/parallel_astar.hpp"
 #include "core/search_cache.hpp"
 #include "core/search_core.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace qsp {
@@ -33,7 +32,7 @@ class LevelBarrier {
 
   template <class Completion>
   void arrive_and_wait(Completion&& completion) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (++arrived_ == parties_) {
       completion();
       arrived_ = 0;
@@ -41,8 +40,10 @@ class LevelBarrier {
       cv_.notify_all();
       return;
     }
+    // Explicit wait loop: a predicate lambda would read the guarded
+    // generation counter outside annotated scope.
     const std::uint64_t generation = generation_;
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    while (generation_ == generation) cv_.wait(lock);
   }
 
   void arrive_and_wait() {
@@ -50,11 +51,11 @@ class LevelBarrier {
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
   const int parties_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  int arrived_ QSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ QSP_GUARDED_BY(mutex_) = 0;
 };
 
 /// A child routed to the shard owning its canonical class.
@@ -73,8 +74,8 @@ struct alignas(64) BeamShard {
   /// table; lock-free because only the owner touches it, like the HDA*
   /// per-shard arenas).
   ClassIndex<std::int64_t> best_g;
-  std::mutex inbox_mutex;
-  std::vector<BeamMail> inbox;
+  Mutex inbox_mutex;
+  std::vector<BeamMail> inbox QSP_GUARDED_BY(inbox_mutex);
   /// This level's per-owned-class winners (local children merged during
   /// generation, mailed children merged after the generation barrier).
   ClassIndex<BeamPending> level_map;
@@ -261,7 +262,7 @@ class ParallelBeam {
       if (out.empty()) continue;
       BeamShard& target = shards_[static_cast<std::size_t>(dest)];
       // One bulk append per destination, like the HDA* outbox flush.
-      const std::lock_guard<std::mutex> lock(target.inbox_mutex);
+      const MutexLock lock(target.inbox_mutex);
       target.inbox.insert(target.inbox.end(),
                           std::make_move_iterator(out.begin()),
                           std::make_move_iterator(out.end()));
@@ -272,7 +273,7 @@ class ParallelBeam {
     BeamShard& shard = shards_[static_cast<std::size_t>(s)];
     std::vector<BeamMail> mail;
     {
-      const std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+      const MutexLock lock(shard.inbox_mutex);
       mail.swap(shard.inbox);
     }
     for (BeamMail& m : mail) {

@@ -182,6 +182,12 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
       pipeline.pass.target = options_.target;
       pipeline.pass.elide_zero_rotations = true;
     }
+    // Attach the device to the pipeline's target descriptor: the per-pass
+    // lint gate then checks that no pass moves a routed two-qubit gate
+    // off the device's edge set.
+    if (pipeline.pass.target.coupling == nullptr) {
+      pipeline.pass.target.coupling = options_.coupling;
+    }
     return optimize_circuit(circuit, pipeline, &result.passes);
   };
   // Selection metric for competing tails/paths: lowered CNOT count,

@@ -161,7 +161,7 @@ SearchCache::Lookup EquivalenceCache::begin(const SlotState& target,
     std::int64_t hit_cost = 0;
     bool exact = false;
     {
-      std::lock_guard<std::mutex> lock(shard.m);
+      const MutexLock lock(shard.m);
       const auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         Entry& entry = it->second;
@@ -225,20 +225,22 @@ SearchCache::Lookup EquivalenceCache::begin(const SlotState& target,
 
     inflight_waits_.fetch_add(1, std::memory_order_relaxed);
     waited_once = true;
-    std::unique_lock<std::mutex> flight_lock(flight->m);
+    // Explicit wait loops (no predicate lambdas) so every read of the
+    // guarded `done` flag sits in annotated scope under flight->m.
+    MutexLock flight_lock(flight->m);
     if (max_wait_seconds > 0.0) {
-      const double remaining = max_wait_seconds - wait_timer.seconds();
-      const bool done =
-          remaining > 0.0 &&
-          flight->cv.wait_for(flight_lock,
-                              std::chrono::duration<double>(remaining),
-                              [&] { return flight->done; });
-      if (!done) {
+      while (!flight->done) {
+        const double remaining = max_wait_seconds - wait_timer.seconds();
+        if (remaining <= 0.0) break;
+        flight->cv.wait_for(flight_lock,
+                            std::chrono::duration<double>(remaining));
+      }
+      if (!flight->done) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         return Lookup{Claim::kIndependent, std::nullopt};
       }
     } else {
-      flight->cv.wait(flight_lock, [&] { return flight->done; });
+      while (!flight->done) flight->cv.wait(flight_lock);
     }
     // Owner finished: loop back and re-check the map.
   }
@@ -253,7 +255,7 @@ void EquivalenceCache::end(const SlotState& target,
 
   std::shared_ptr<InFlight> flight;
   {
-    std::lock_guard<std::mutex> lock(shard.m);
+    const MutexLock lock(shard.m);
     const auto flight_it = shard.inflight.find(key);
     if (flight_it != shard.inflight.end()) {
       flight = flight_it->second;
@@ -291,7 +293,7 @@ void EquivalenceCache::end(const SlotState& target,
     }
   }
   if (flight != nullptr) {
-    std::lock_guard<std::mutex> flight_lock(flight->m);
+    const MutexLock flight_lock(flight->m);
     flight->done = true;
     flight->cv.notify_all();
   }

@@ -22,16 +22,15 @@
 // a per-class condition variable until the owner publishes, then hit.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/search_cache.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qsp {
 
@@ -92,22 +91,23 @@ class EquivalenceCache final : public SearchCache {
   };
 
   struct InFlight {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex m;
+    CondVar cv;
+    bool done QSP_GUARDED_BY(m) = false;
   };
 
   struct Shard {
-    std::mutex m;
-    std::unordered_map<std::string, Entry> map;
+    Mutex m;
+    std::unordered_map<std::string, Entry> map QSP_GUARDED_BY(m);
     /// Front = most recently used key.
-    std::list<std::string> lru;
-    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
-    std::size_t bytes = 0;
+    std::list<std::string> lru QSP_GUARDED_BY(m);
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight
+        QSP_GUARDED_BY(m);
+    std::size_t bytes QSP_GUARDED_BY(m) = 0;
   };
 
   Shard& shard_for(const std::string& key);
-  void evict_over_caps(Shard& shard);
+  void evict_over_caps(Shard& shard) QSP_REQUIRES(shard.m);
 
   EquivalenceCacheOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,15 +1,32 @@
 #include "service/synthesis_service.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "sim/statevector.hpp"
 #include "util/timer.hpp"
 
 namespace qsp {
+namespace {
+
+/// Front-door lint policy: structural rules plus the real-amplitude gate
+/// mask. Target/coupling conformance is deliberately not checked here —
+/// request QASM describes the state to prepare, not the circuit the
+/// workflow will emit for it.
+LintOptions request_lint_options() {
+  LintOptions options;
+  options.allowed_kinds =
+      lint_kind_bit(GateKind::kX) | lint_kind_bit(GateKind::kRy) |
+      lint_kind_bit(GateKind::kCNOT) | lint_kind_bit(GateKind::kCZ);
+  return options;
+}
+
+}  // namespace
 
 SynthesisService::SynthesisService(SynthesisServiceOptions options)
-    : options_(options),
-      cache_(std::make_shared<EquivalenceCache>(options.cache)) {
+    : options_(std::move(options)),
+      cache_(std::make_shared<EquivalenceCache>(options_.cache)) {
   int workers = options_.num_workers;
   if (workers <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -24,7 +41,7 @@ SynthesisService::SynthesisService(SynthesisServiceOptions options)
 SynthesisService::~SynthesisService() {
   std::deque<Job> orphans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
     orphans.swap(queue_);
   }
@@ -41,7 +58,7 @@ std::future<ServiceResponse> SynthesisService::submit(ServiceRequest request) {
   job.request = std::move(request);
   std::future<ServiceResponse> future = job.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("SynthesisService: submit after shutdown");
     }
@@ -64,12 +81,45 @@ std::vector<ServiceResponse> SynthesisService::run_batch(
   return responses;
 }
 
+LintReport SynthesisService::lint_request(const std::string& qasm) const {
+  return lint_qasm(qasm, request_lint_options());
+}
+
+std::future<ServiceResponse> SynthesisService::submit_qasm(
+    const std::string& qasm, WorkflowOptions options) {
+  std::optional<Circuit> parsed;
+  const LintReport report = lint_qasm(qasm, request_lint_options(), &parsed);
+  if (report.has_errors()) {
+    std::ostringstream os;
+    os << "SynthesisService: QASM request rejected by lint:\n"
+       << report.to_string();
+    throw std::invalid_argument(os.str());
+  }
+  const Circuit& circuit = *parsed;
+  if (options_.max_qasm_qubits > 0 &&
+      circuit.num_qubits() > options_.max_qasm_qubits) {
+    std::ostringstream os;
+    os << "SynthesisService: QASM request spans " << circuit.num_qubits()
+       << " qubits; the service accepts at most " << options_.max_qasm_qubits;
+    throw std::invalid_argument(os.str());
+  }
+  Statevector sv(circuit.num_qubits());
+  sv.apply(circuit);
+  ServiceRequest request;
+  request.state = QuantumState::from_dense(circuit.num_qubits(),
+                                           sv.amplitudes());
+  request.options = std::move(options);
+  return submit(std::move(request));
+}
+
 void SynthesisService::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit wait loop: a predicate lambda would read the guarded
+      // fields outside annotated scope (see thread_annotations.hpp).
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping, queue drained
       job = std::move(queue_.front());
       queue_.pop_front();

@@ -13,19 +13,19 @@
 // so a small batch of heavy requests can still saturate the machine.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "circuit/lint.hpp"
 #include "flow/solver.hpp"
 #include "service/equivalence_cache.hpp"
 #include "state/quantum_state.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qsp {
 
@@ -48,6 +48,10 @@ struct SynthesisServiceOptions {
   /// `opt_level` for hardware with a fixed native gate set. Unset:
   /// requests keep their own target.
   std::optional<Target> target;
+  /// QASM front door (submit_qasm): reject programs wider than this
+  /// before any amplitude work (the dense simulation behind a request is
+  /// 8 * 2^n bytes). 0 = unlimited.
+  int max_qasm_qubits = 20;
 };
 
 struct ServiceRequest {
@@ -78,6 +82,20 @@ class SynthesisService {
   /// order. Rethrows the first failed request's exception.
   std::vector<ServiceResponse> run_batch(std::vector<ServiceRequest> batch);
 
+  /// Lint QASM text against the service's front-door policy: every
+  /// structural rule plus the real-amplitude gate-set mask {x, ry, cx,
+  /// cz} (z-axis and iSWAP gates make the prepared state complex, which
+  /// the real-amplitude request type cannot carry). Pure query — nothing
+  /// is enqueued; submit_qasm applies exactly this policy.
+  LintReport lint_request(const std::string& qasm) const;
+
+  /// QASM front door: lint the program (any error-severity diagnostic
+  /// rejects with std::invalid_argument carrying the report, before any
+  /// search spends budget), simulate the accepted circuit from |0...0>,
+  /// and submit the prepared state as an ordinary request.
+  std::future<ServiceResponse> submit_qasm(const std::string& qasm,
+                                           WorkflowOptions options = {});
+
   const std::shared_ptr<EquivalenceCache>& cache() const { return cache_; }
   EquivalenceCacheStats cache_stats() const { return cache_->stats(); }
   std::uint64_t requests_served() const {
@@ -96,10 +114,10 @@ class SynthesisService {
   SynthesisServiceOptions options_;
   std::shared_ptr<EquivalenceCache> cache_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Job> queue_ QSP_GUARDED_BY(mutex_);
+  bool stopping_ QSP_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> served_{0};
 };

@@ -1,0 +1,25 @@
+// Control twin of unguarded_access.cpp: the same guarded field accessed
+// under a MutexLock must compile cleanly with clang -Wthread-safety
+// -Werror=thread-safety-analysis. Together the pair pins the analysis
+// both ways — it rejects the undisciplined read and accepts the
+// disciplined one.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  qsp::Mutex m;
+  int value QSP_GUARDED_BY(m) = 0;
+};
+
+int read_with_lock(Counter& c) {
+  const qsp::MutexLock lock(c.m);
+  return c.value;
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return read_with_lock(c);
+}

@@ -1,0 +1,27 @@
+// Compile-fail fixture: under clang -Wthread-safety
+// -Werror=thread-safety-analysis this translation unit must NOT compile —
+// reading a QSP_GUARDED_BY field without holding its mutex is exactly the
+// regression the annotations exist to reject. CMake registers a
+// syntax-only compile of this file as a WILL_FAIL ctest (clang builds
+// only); the guarded_access.cpp twin compiles the disciplined version of
+// the same code, proving a failure here is the analysis firing and not a
+// broken include path or shim.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  qsp::Mutex m;
+  int value QSP_GUARDED_BY(m) = 0;
+};
+
+int read_without_lock(Counter& c) {
+  return c.value;  // thread-safety analysis: no lock held
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return read_without_lock(c);
+}

@@ -271,6 +271,12 @@ TEST(PassPipeline, SolverThreadsOptLevelThrough) {
   for (int i = 0; i < 3; ++i) {
     WorkflowOptions options;
     options.opt_level = levels[i];
+    // The cross-level cost comparison needs all three runs on the same
+    // search path: under ctest load the default 1 s / 0.5 s kernel wall
+    // budgets can exhaust mid-run and send one level down a fallback with
+    // a different base circuit. Budgets are not what this test measures.
+    options.exact.astar.time_budget_seconds = 0.0;
+    options.exact.beam.time_budget_seconds = 0.0;
     const Solver solver(options);
     results[i] = solver.prepare(target);
     ASSERT_TRUE(results[i].found) << opt_level_name(levels[i]);

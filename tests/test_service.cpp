@@ -147,9 +147,19 @@ TEST(SynthesisService, SameClassVariantsShareOneSearch) {
   SynthesisServiceOptions options;
   options.num_workers = 1;
   SynthesisService service(options);
-  const ServiceResponse cold = service.submit(request_for(base)).get();
+  // The rewired-hit assertion needs the cold search to actually reach the
+  // exact tail and populate the cache: under ctest load the default
+  // 1 s / 0.5 s kernel wall budgets can exhaust and divert the request to
+  // a fallback that never inserts. Budgets are not what this test
+  // measures.
+  WorkflowOptions unconstrained;
+  unconstrained.exact.astar.time_budget_seconds = 0.0;
+  unconstrained.exact.beam.time_budget_seconds = 0.0;
+  const ServiceResponse cold =
+      service.submit(request_for(base, unconstrained)).get();
   ASSERT_TRUE(cold.result.found);
-  const ServiceResponse warm = service.submit(request_for(permuted)).get();
+  const ServiceResponse warm =
+      service.submit(request_for(permuted, unconstrained)).get();
   ASSERT_TRUE(warm.result.found);
   EXPECT_GE(service.cache_stats().rewired_hits, 1u);
   verify_preparation_or_throw(warm.result.circuit, permuted);

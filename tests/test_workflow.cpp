@@ -18,7 +18,13 @@ namespace qsp {
 namespace {
 
 TEST(Workflow, TinyStatesUseExactDirectly) {
-  const Solver solver;
+  // Unbudgeted kernels: the pinned CNOT count needs the exact tail to
+  // complete, and under ctest load the default 1 s / 0.5 s wall budgets
+  // can exhaust and divert to a fallback.
+  WorkflowOptions options;
+  options.exact.astar.time_budget_seconds = 0.0;
+  options.exact.beam.time_budget_seconds = 0.0;
+  const Solver solver(options);
   const QuantumState target = make_dicke(4, 2);
   const WorkflowResult res = solver.prepare(target);
   ASSERT_TRUE(res.found);
@@ -356,7 +362,13 @@ TEST(Workflow, TimeBudgetAbortsRunawayKernelSearch) {
 }
 
 TEST(Workflow, UnconstrainedRunIsNotBudgetExhausted) {
-  const Solver solver;
+  // Truly unconstrained: zero the per-kernel wall budgets too, or a
+  // loaded ctest run can exhaust the default 1 s A* budget and set the
+  // very flag this test asserts is clear.
+  WorkflowOptions options;
+  options.exact.astar.time_budget_seconds = 0.0;
+  options.exact.beam.time_budget_seconds = 0.0;
+  const Solver solver(options);
   const WorkflowResult res = solver.prepare(make_dicke(4, 2));
   ASSERT_TRUE(res.found);
   EXPECT_FALSE(res.budget_exhausted);
@@ -401,6 +413,11 @@ TEST(Workflow, SharedCacheModeServesRepeatsBitIdentically) {
   auto cache = std::make_shared<EquivalenceCache>();
   WorkflowOptions options;
   options.cache = cache;
+  // Unbudgeted kernels: the insert/hit assertions need the exact tail to
+  // run on both prepares even when ctest load would exhaust the default
+  // wall budgets.
+  options.exact.astar.time_budget_seconds = 0.0;
+  options.exact.beam.time_budget_seconds = 0.0;
   const Solver solver(options);
   const QuantumState target = make_dicke(4, 2);
   const WorkflowResult cold = solver.prepare(target);
