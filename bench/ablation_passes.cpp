@@ -121,6 +121,45 @@ int main() {
            // re-lints every row's output circuit offline.
            {"qasm", to_qasm(cleaned, target)}});
     }
+
+    // Isolated dataflow-simplify row: the flow-sensitive pass alone on
+    // the same O0 circuit, so the artifact separates what the abstract-
+    // interpretation rewrites remove from what the O2 bundle removes.
+    {
+      const Pass* pass = PassPipeline::find("dataflow-simplify");
+      Circuit simplified = base;
+      const Timer timer;
+      pass->run(simplified, PassOptions{});
+      const double seconds = timer.seconds();
+      const std::string vc =
+          bench::verify_cell(simplified, instance.state, 14);
+      bench::check_verified(vc, "dataflow-simplify (" + instance.name + ")");
+      const std::int64_t two_qubit =
+          target.is_cnot() ? count_cnots_after_lowering(simplified, elide)
+                           : two_qubit_gate_count(simplified, target);
+      table.add_row({instance.name, std::string(pass->name()),
+                     TextTable::fmt(static_cast<int>(simplified.size())),
+                     TextTable::fmt(static_cast<int>(simplified.depth())),
+                     TextTable::fmt(static_cast<int>(two_qubit)),
+                     TextTable::fmt(seconds, 4)});
+      bench::json_row(
+          "ablation_passes",
+          {{"instance", instance.name + " dataflow-simplify"},
+           {"family", instance.name},
+           {"level", std::string(pass->name())},
+           {"target", std::string(target.name())},
+           {"n", n},
+           {"gates_before", static_cast<std::uint64_t>(base.size())},
+           {"gates_after", static_cast<std::uint64_t>(simplified.size())},
+           {"depth_before", static_cast<std::uint64_t>(base.depth())},
+           {"depth_after", static_cast<std::uint64_t>(simplified.depth())},
+           {"cnot_cost", two_qubit},
+           {"optimal", false},
+           {"seconds", seconds},
+           {"threads", bench::bench_threads()},
+           {"verified", vc},
+           {"qasm", to_qasm(simplified, target)}});
+    }
   }
   std::cout << table.render() << "\n";
   std::cout << "O1 reproduces the historical cleanup; the O2 rows show what\n"

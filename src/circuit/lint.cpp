@@ -198,6 +198,14 @@ std::string_view lint_rule_code(LintRule rule) {
       return "QL009";
     case LintRule::kUnsupportedGate:
       return "QL010";
+    case LintRule::kDeadControl:
+      return "QL011";
+    case LintRule::kConstantOneControl:
+      return "QL012";
+    case LintRule::kRedundantCnot:
+      return "QL013";
+    case LintRule::kAncillaReleasedDirty:
+      return "QL014";
   }
   return "QL???";
 }
@@ -226,6 +234,14 @@ std::string_view lint_rule_name(LintRule rule) {
       return "malformed-angles";
     case LintRule::kUnsupportedGate:
       return "unsupported-gate";
+    case LintRule::kDeadControl:
+      return "dead-control";
+    case LintRule::kConstantOneControl:
+      return "constant-one-control";
+    case LintRule::kRedundantCnot:
+      return "redundant-cnot";
+    case LintRule::kAncillaReleasedDirty:
+      return "ancilla-released-dirty";
   }
   return "?";
 }
@@ -234,6 +250,13 @@ LintSeverity lint_rule_severity(LintRule rule) {
   switch (rule) {
     case LintRule::kDegenerateRotation:
     case LintRule::kIdentityPair:
+    // The flow-sensitive redundancy rules are warnings: the circuit is
+    // still correct, it merely carries work the dataflow-simplify pass
+    // would remove. QL014 stays an error — a dirty workspace wire breaks
+    // the register contract (spare device qubits return to |0>).
+    case LintRule::kDeadControl:
+    case LintRule::kConstantOneControl:
+    case LintRule::kRedundantCnot:
       return LintSeverity::kWarning;
     default:
       return LintSeverity::kError;

@@ -63,6 +63,26 @@ enum class LintRule : int {
                                ///<        wrong size.
   kUnsupportedGate = 10,       ///< QL010: gate kind outside the caller's
                                ///<        allowed set (policy mask).
+  // QL011..QL014 are the flow-sensitive rules: they need facts that flow
+  // *through* the circuit (per-wire basis/parity abstract state), so their
+  // scan lives in the dataflow engine (circuit/dataflow.hpp ->
+  // dataflow_lint), not in the structural lint_circuit walk. The catalog
+  // entries live here so codes, names and severities stay in one place.
+  kDeadControl = 11,           ///< QL011: gate provably the identity on
+                               ///<        every reachable basis state
+                               ///<        (e.g. a control provably |0>)
+                               ///<        (warning).
+  kConstantOneControl = 12,    ///< QL012: control provably satisfied on
+                               ///<        every reachable basis state —
+                               ///<        the gate should be demoted to
+                               ///<        its uncontrolled form (warning).
+  kRedundantCnot = 13,         ///< QL013: CNOT provably cancelled by an
+                               ///<        earlier CNOT onto the same
+                               ///<        target with the same parity
+                               ///<        effect (warning).
+  kAncillaReleasedDirty = 14,  ///< QL014: workspace/ancilla wire not
+                               ///<        provably restored to |0> at
+                               ///<        circuit end.
 };
 
 /// Stable code, e.g. "QL003".

@@ -11,6 +11,7 @@
 
 #include "arch/coupling.hpp"
 #include "circuit/cost_model.hpp"
+#include "circuit/dataflow.hpp"
 #include "circuit/lint.hpp"
 #include "circuit/lowering.hpp"
 #include "phase/complex_statevector.hpp"
@@ -290,6 +291,52 @@ class RotationCommuteMergePass final : public Pass {
 };
 
 // ---------------------------------------------------------------------------
+// dataflow-simplify: apply exactly the rewrites the dataflow engine's
+// verdicts justify — drop gates provably the identity on every reachable
+// state (dead controls, provably-cancelled CZ/iSwap), demote gates whose
+// controls are provably satisfied (CNOT -> X, MCRy -> fewer controls,
+// multiplexor table halving), and cancel parity-redundant CNOT pairs.
+// Demotions introduce new gate kinds, so kPreservesGateSet cannot be
+// claimed; no rewrite adds a two-qubit gate, so coupling is preserved.
+// ---------------------------------------------------------------------------
+class DataflowSimplifyPass final : public Pass {
+ public:
+  std::string_view name() const override { return "dataflow-simplify"; }
+  unsigned preserves() const override {
+    return kPreservesPreparation | kPreservesCoupling;
+  }
+
+  bool run(Circuit& circuit, const PassOptions& options) const override {
+    Slots slots = to_slots(circuit);
+    bool changed = false;
+    DataflowEngine engine(circuit.num_qubits(), options.angle_epsilon);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const GateVerdict verdict =
+          engine.apply(*slots[i], static_cast<std::int64_t>(i));
+      switch (verdict.action) {
+        case GateVerdict::Action::kKeep:
+          break;
+        case GateVerdict::Action::kDrop:
+          slots[i].reset();
+          changed = true;
+          break;
+        case GateVerdict::Action::kReplace:
+          slots[i] = *verdict.replacement;
+          changed = true;
+          break;
+        case GateVerdict::Action::kCancelPair:
+          slots[i].reset();
+          slots[static_cast<std::size_t>(verdict.cancel_with)].reset();
+          changed = true;
+          break;
+      }
+    }
+    if (changed) from_slots(circuit, slots);
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Verification hook: preparation-equivalence check after a pass.
 // ---------------------------------------------------------------------------
 
@@ -421,12 +468,14 @@ const std::vector<const Pass*>& PassPipeline::registry() {
   static const AdjacentFusePass adjacent_fuse;
   static const CnotCommuteFoldPass cnot_commute_fold;
   static const RotationCommuteMergePass rotation_commute_merge;
+  static const DataflowSimplifyPass dataflow_simplify;
   static const std::vector<const Pass*> passes = [] {
     std::vector<const Pass*> all = {
         &dead_rotation,
         &adjacent_fuse,
         &cnot_commute_fold,
         &rotation_commute_merge,
+        &dataflow_simplify,
     };
     for (const Pass* pass : lowering_pass_sequence()) all.push_back(pass);
     return all;
@@ -449,6 +498,7 @@ std::vector<const Pass*> PassPipeline::level_passes(OptLevel level) {
   if (level == OptLevel::kO2) {
     out.push_back(find("cnot-commute-fold"));
     out.push_back(find("rotation-commute-merge"));
+    out.push_back(find("dataflow-simplify"));
   }
   return out;
 }

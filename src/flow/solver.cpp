@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "arch/routing.hpp"
+#include "circuit/dataflow.hpp"
 #include "circuit/lowering.hpp"
 #include "core/canonical.hpp"
 #include "core/search_core.hpp"
@@ -175,6 +176,25 @@ WorkflowResult Solver::prepare(const QuantumState& target) const {
   // stay routed.
   const auto routed_onto_device = [&](Circuit circuit) {
     if (device != nullptr) circuit = route_circuit(circuit, *device);
+    // Static ancilla certification (QL014): routed circuits use the spare
+    // device wires above the logical register as workspace, and the
+    // routing contract says every one of them returns to |0>. Routed
+    // output is {X, Ry, CNOT} with rotations only on logical wires, so
+    // the dataflow engine proves the contract exactly; run the gate here,
+    // before the pass pipeline (the pipeline preserves preparation, so
+    // certification transfers to the optimized output). Release builds
+    // included — this is static analysis, not simulation.
+    if (device != nullptr && nw > n) {
+      DataflowOptions dataflow;
+      dataflow.num_data_wires = n;
+      const LintReport report = dataflow_lint(circuit, dataflow);
+      if (report.has_errors()) {
+        throw std::logic_error(
+            "Solver::prepare: routed circuit failed static ancilla "
+            "certification:\n" +
+            report.to_string());
+      }
+    }
     PipelineOptions pipeline;
     pipeline.level = options_.opt_level;
     if (!options_.target.is_cnot()) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "circuit/dataflow.hpp"
 #include "sim/statevector.hpp"
 #include "util/timer.hpp"
 
@@ -56,6 +57,10 @@ SynthesisService::~SynthesisService() {
 std::future<ServiceResponse> SynthesisService::submit(ServiceRequest request) {
   Job job;
   job.request = std::move(request);
+  return enqueue(std::move(job));
+}
+
+std::future<ServiceResponse> SynthesisService::enqueue(Job job) {
   std::future<ServiceResponse> future = job.promise.get_future();
   {
     const MutexLock lock(mutex_);
@@ -88,12 +93,11 @@ LintReport SynthesisService::lint_request(const std::string& qasm) const {
 std::future<ServiceResponse> SynthesisService::submit_qasm(
     const std::string& qasm, WorkflowOptions options) {
   std::optional<Circuit> parsed;
-  const LintReport report = lint_qasm(qasm, request_lint_options(), &parsed);
+  LintReport report = lint_qasm(qasm, request_lint_options(), &parsed);
   if (report.has_errors()) {
-    std::ostringstream os;
-    os << "SynthesisService: QASM request rejected by lint:\n"
-       << report.to_string();
-    throw std::invalid_argument(os.str());
+    // Structured rejection: callers read the rule codes off the report
+    // (what() renders the same diagnostics for legacy catch sites).
+    throw ServiceLintError(std::move(report));
   }
   const Circuit& circuit = *parsed;
   if (options_.max_qasm_qubits > 0 &&
@@ -105,11 +109,15 @@ std::future<ServiceResponse> SynthesisService::submit_qasm(
   }
   Statevector sv(circuit.num_qubits());
   sv.apply(circuit);
-  ServiceRequest request;
-  request.state = QuantumState::from_dense(circuit.num_qubits(),
-                                           sv.amplitudes());
-  request.options = std::move(options);
-  return submit(std::move(request));
+  Job job;
+  job.request.state =
+      QuantumState::from_dense(circuit.num_qubits(), sv.amplitudes());
+  job.request.options = std::move(options);
+  // Accepted with warnings: carry them into the response's structured
+  // diagnostics so callers see the front-door findings alongside the
+  // result's own dataflow analysis.
+  job.request_lint = std::move(report);
+  return enqueue(std::move(job));
 }
 
 void SynthesisService::worker_loop() {
@@ -140,6 +148,18 @@ void SynthesisService::worker_loop() {
       ServiceResponse response;
       response.result = solver.prepare(job.request.state);
       response.seconds = timer.seconds();
+      response.diagnostics = std::move(job.request_lint);
+      if (response.result.found) {
+        // Dataflow analysis of the produced circuit. QL014 stays off
+        // here: the result's register contract is documented on
+        // WorkflowResult, and the Solver already certifies routed
+        // workspace wires statically before optimization.
+        const LintReport dataflow =
+            dataflow_lint(response.result.circuit, DataflowOptions{});
+        for (const LintDiagnostic& d : dataflow.diagnostics) {
+          response.diagnostics.diagnostics.push_back(d);
+        }
+      }
       served_.fetch_add(1, std::memory_order_relaxed);
       job.promise.set_value(std::move(response));
     } catch (...) {

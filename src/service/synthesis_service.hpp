@@ -18,7 +18,10 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "circuit/lint.hpp"
@@ -63,6 +66,26 @@ struct ServiceResponse {
   WorkflowResult result;
   /// Wall-clock seconds the request spent inside its worker.
   double seconds = 0.0;
+  /// Structured lint + dataflow diagnostics for the request: the QASM
+  /// front door's request-lint warnings (errors reject before enqueue)
+  /// followed by the dataflow analysis of the produced circuit (QL014
+  /// off — the output sits on the register the result documents). Callers
+  /// report rule codes to users instead of re-deriving them from strings.
+  LintReport diagnostics;
+};
+
+/// Thrown by submit_qasm when the front-door lint rejects a request; the
+/// structured report carries the rule codes. Derives from
+/// std::invalid_argument (what() is the rendered report) so callers that
+/// only catch the legacy type keep working.
+class ServiceLintError : public std::invalid_argument {
+ public:
+  explicit ServiceLintError(LintReport report)
+      : std::invalid_argument(report.to_string()), report_(std::move(report)) {}
+  const LintReport& report() const { return report_; }
+
+ private:
+  LintReport report_;
 };
 
 class SynthesisService {
@@ -107,8 +130,12 @@ class SynthesisService {
   struct Job {
     ServiceRequest request;
     std::promise<ServiceResponse> promise;
+    /// Warning-severity diagnostics from the request's front-door lint
+    /// (QASM requests); prepended to the response's diagnostics.
+    LintReport request_lint;
   };
 
+  std::future<ServiceResponse> enqueue(Job job);
   void worker_loop();
 
   SynthesisServiceOptions options_;

@@ -1,0 +1,34 @@
+// Compile-fail fixture: under clang -Wthread-safety
+// -Werror=thread-safety-analysis this translation unit must NOT compile.
+// thread_annotations.hpp deliberately gives CondVar no predicate-lambda
+// wait overload: clang's analysis checks a lambda body as a separate,
+// lock-free function, so reading a QSP_GUARDED_BY field inside a wait
+// predicate is flagged even though the caller holds the mutex — exactly
+// the misuse this fixture commits. CMake registers a syntax-only compile
+// as a WILL_FAIL ctest (clang builds only); condvar_wait_loop.cpp is the
+// disciplined twin proving a failure here is the analysis firing.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Inbox {
+  qsp::Mutex m;
+  qsp::CondVar cv;
+  bool ready QSP_GUARDED_BY(m) = false;
+};
+
+void consume(Inbox& inbox) {
+  qsp::MutexLock lock(inbox.m);
+  // thread-safety analysis: the lambda body reads `ready` with no lock
+  // capability of its own.
+  const auto pred = [&inbox] { return inbox.ready; };
+  while (!pred()) inbox.cv.wait(lock);
+}
+
+}  // namespace
+
+int main() {
+  Inbox inbox;
+  consume(inbox);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Control twin of condvar_predicate_misuse.cpp: the explicit wait loop —
+// the discipline thread_annotations.hpp prescribes and worker_loop in
+// synthesis_service.cpp follows — reads the guarded field directly in
+// the annotated scope that holds the MutexLock, so it must compile
+// cleanly with clang -Wthread-safety -Werror=thread-safety-analysis.
+// Together the pair pins the analysis both ways for condition-variable
+// waits: it rejects the predicate-lambda form and accepts the loop form.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Inbox {
+  qsp::Mutex m;
+  qsp::CondVar cv;
+  bool ready QSP_GUARDED_BY(m) = false;
+};
+
+void consume(Inbox& inbox) {
+  qsp::MutexLock lock(inbox.m);
+  while (!inbox.ready) inbox.cv.wait(lock);
+}
+
+}  // namespace
+
+int main() {
+  Inbox inbox;
+  consume(inbox);
+  return 0;
+}

@@ -72,6 +72,25 @@ TEST(Lint, RuleCatalogCodesNamesSeverities) {
             LintSeverity::kWarning);
   EXPECT_EQ(lint_rule_severity(LintRule::kIdentityPair),
             LintSeverity::kWarning);
+  // The flow-sensitive rules (scanned by circuit/dataflow.hpp) share the
+  // catalog: QL011..QL013 are optimizer hints, QL014 breaks the
+  // workspace-register contract and stays an error.
+  EXPECT_EQ(lint_rule_code(LintRule::kDeadControl), "QL011");
+  EXPECT_EQ(lint_rule_code(LintRule::kAncillaReleasedDirty), "QL014");
+  EXPECT_EQ(lint_rule_name(LintRule::kDeadControl), "dead-control");
+  EXPECT_EQ(lint_rule_name(LintRule::kConstantOneControl),
+            "constant-one-control");
+  EXPECT_EQ(lint_rule_name(LintRule::kRedundantCnot), "redundant-cnot");
+  EXPECT_EQ(lint_rule_name(LintRule::kAncillaReleasedDirty),
+            "ancilla-released-dirty");
+  EXPECT_EQ(lint_rule_severity(LintRule::kDeadControl),
+            LintSeverity::kWarning);
+  EXPECT_EQ(lint_rule_severity(LintRule::kConstantOneControl),
+            LintSeverity::kWarning);
+  EXPECT_EQ(lint_rule_severity(LintRule::kRedundantCnot),
+            LintSeverity::kWarning);
+  EXPECT_EQ(lint_rule_severity(LintRule::kAncillaReleasedDirty),
+            LintSeverity::kError);
   EXPECT_EQ(lint_severity_name(LintSeverity::kError), "error");
 }
 
@@ -556,6 +575,46 @@ TEST(SynthesisServiceQasm, LintRejectionBeforeEnqueue) {
   EXPECT_THROW(service.submit_qasm("qreg q[2];\nbogus q[0];\n"),
                std::invalid_argument);
   EXPECT_EQ(service.requests_served(), 0u);
+}
+
+TEST(SynthesisServiceQasm, RejectionCarriesStructuredDiagnostics) {
+  SynthesisServiceOptions options;
+  options.num_workers = 1;
+  SynthesisService service(options);
+  // Two rz gates outside the request gate set: the structured report
+  // must carry the QL010 code per offending gate, with gate indices, so
+  // callers can surface them verbatim.
+  const std::string bad_qasm =
+      "qreg q[2];\nrz(0.5) q[0];\ncx q[0],q[1];\nrz(0.25) q[1];\n";
+  try {
+    service.submit_qasm(bad_qasm);
+    FAIL() << "submit_qasm accepted a request the lint must reject";
+  } catch (const ServiceLintError& e) {
+    EXPECT_TRUE(e.report().has_errors());
+    ASSERT_EQ(e.report().diagnostics.size(), 2u) << rules_fired(e.report());
+    for (const LintDiagnostic& d : e.report().diagnostics) {
+      EXPECT_EQ(d.rule, LintRule::kUnsupportedGate);
+      EXPECT_EQ(d.severity, LintSeverity::kError);
+    }
+    EXPECT_EQ(e.report().diagnostics[0].gate_index, 0);
+    EXPECT_EQ(e.report().diagnostics[1].gate_index, 2);
+    // what() renders the same diagnostics for legacy catch sites.
+    EXPECT_NE(std::string(e.what()).find("QL010"), std::string::npos);
+  }
+  EXPECT_EQ(service.requests_served(), 0u);
+}
+
+TEST(SynthesisServiceQasm, ResponseCarriesDataflowDiagnostics) {
+  SynthesisServiceOptions options;
+  options.num_workers = 1;
+  SynthesisService service(options);
+  const ServiceResponse response = service.submit_qasm(kGhzQasm).get();
+  ASSERT_TRUE(response.result.found);
+  // An accepted, clean request: the structured diagnostics must exist
+  // and carry no errors (the produced circuit is the service's own
+  // output — a flow-sensitive error here is a workflow bug).
+  EXPECT_FALSE(response.diagnostics.has_errors())
+      << response.diagnostics.to_string();
 }
 
 TEST(SynthesisServiceQasm, WidthCapRejectsWideRequests) {

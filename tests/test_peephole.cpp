@@ -188,8 +188,11 @@ TEST(Peephole, RotationMergeAcrossCommutingCnot) {
   const Circuit out = o2(c);
   EXPECT_EQ(out.size(), c.size() - 1);
   EXPECT_NEAR(test::preparation_overlap(c, out), 1.0, 1e-9);
-  // An Ry on the CNOT's *target* must not merge through it.
+  // An Ry on the CNOT's *target* must not merge through it. The control
+  // needs its own Ry first: on a provably-|0> control the dataflow pass
+  // would (correctly) drop the CNOT as dead and let the halves fuse.
   Circuit blocked(2);
+  blocked.append(Gate::ry(0, 0.9));
   blocked.append(Gate::ry(1, 0.3));
   blocked.append(Gate::cnot(0, 1));
   blocked.append(Gate::ry(1, 0.5));
@@ -197,14 +200,17 @@ TEST(Peephole, RotationMergeAcrossCommutingCnot) {
 }
 
 TEST(Peephole, OppositeRotationsAnnihilateAcrossCommutingGap) {
-  // Fused angle is zero: both halves disappear entirely.
+  // Fused angle is zero: both halves disappear entirely. Wire 1 gets an
+  // Ry first so the CNOT's control is not provably |0> — otherwise the
+  // dataflow pass (correctly) removes the CNOT as dead too.
   Circuit c(3);
   c.append(Gate::ry(0, 1.2));
+  c.append(Gate::ry(1, 0.8));
   c.append(Gate::rz(1, 0.6));
   c.append(Gate::cnot(1, 2));
   c.append(Gate::rz(1, -0.6));
   const Circuit out = o2(c);
-  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.size(), 3u);
   EXPECT_NEAR(test::preparation_overlap(c, out), 1.0, 1e-9);
 }
 
